@@ -1,0 +1,224 @@
+"""Ablations on the design choices the paper discusses.
+
+* **HPE + performance combined** — Section 6: "The third variant
+  [combining both feature kinds] did not improve accuracy over the first
+  one, so we do not include the data for it."  We verify the combined
+  variant is not meaningfully better than performance features alone.
+* **Input-pair choice** — how much the selected pair matters versus a bad
+  pair (the reason the automatic search exists).
+* **Forest size** — RF needs "very little or no tuning"; accuracy is flat
+  across a wide range of tree counts.
+* **Training-corpus size** — accuracy as the operator's training population
+  grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    HpeModel,
+    PlacementModel,
+    leave_one_workload_out,
+)
+from repro.core.model import _pair_features
+from repro.ml import RandomForestRegressor
+from repro.core.training import build_training_set
+from repro.perfsim import WorkloadGenerator, paper_workloads
+
+NAMES = [w.name for w in paper_workloads()]
+
+
+class CombinedModel:
+    """Variant 3 of Section 6: performance observations + HPEs."""
+
+    def __init__(self, input_pair, features, random_state=0):
+        self.input_pair = input_pair
+        self.features = features
+        self.random_state = random_state
+
+    def fit(self, ts):
+        i, j = self.input_pair
+        self._hpe_idx = [ts.hpe_names.index(f) for f in self.features]
+        hpe = ts.hpe_features[:, self._hpe_idx]
+        self._means = hpe.mean(axis=0)
+        self._stds = np.where(hpe.std(axis=0) == 0, 1.0, hpe.std(axis=0))
+        X = np.column_stack(
+            [
+                _pair_features(ts.ipc[:, i], ts.ipc[:, j]),
+                (hpe - self._means) / self._stds,
+            ]
+        )
+        Y = ts.ipc / ts.ipc[:, i : i + 1]
+        self._forest = RandomForestRegressor(
+            n_estimators=100, random_state=self.random_state
+        ).fit(X, Y)
+        return self
+
+    def predict_row(self, ts, row):
+        i, j = self.input_pair
+        hpe = ts.hpe_features[row, self._hpe_idx]
+        X = np.column_stack(
+            [
+                _pair_features(
+                    np.array([ts.ipc[row, i]]), np.array([ts.ipc[row, j]])
+                ),
+                ((hpe - self._means) / self._stds)[None, :],
+            ]
+        )
+        return self._forest.predict(X)[0]
+
+    def actual_row(self, ts, row):
+        i, _ = self.input_pair
+        return ts.ipc[row] / ts.ipc[row, i]
+
+
+def _mean_mape(results):
+    return float(np.mean([r.mape for r in results]))
+
+
+def test_ablation_combined_features(
+    benchmark, amd_training_set, amd_model, report
+):
+    pair = amd_model.input_pair
+    perf_results = leave_one_workload_out(
+        lambda: PlacementModel(input_pair=pair, random_state=0),
+        amd_training_set,
+        evaluate_names=NAMES,
+    )
+    features = (
+        HpeModel(random_state=0, max_features=4, selection_estimators=6)
+        .fit(amd_training_set)
+        .selected_features
+    )
+    combined_results = benchmark.pedantic(
+        leave_one_workload_out,
+        args=(
+            lambda: CombinedModel(pair, features),
+            amd_training_set,
+        ),
+        kwargs={"evaluate_names": NAMES},
+        rounds=1,
+        iterations=1,
+    )
+    perf_mean = _mean_mape(perf_results)
+    combined_mean = _mean_mape(combined_results)
+    report(
+        "ablation_combined_features",
+        f"performance features only: {perf_mean:.2f}% mean error\n"
+        f"performance + HPE features: {combined_mean:.2f}% mean error\n"
+        f"paper: the combined variant 'did not improve accuracy'",
+    )
+    # No meaningful improvement (allow noise either way).
+    assert combined_mean > perf_mean - 1.0
+
+
+def test_ablation_input_pair_choice(benchmark, amd_training_set, amd_model, report):
+    errors = amd_model.selection_errors_
+    if errors is None:
+        # canonical fit skips the search; do a light search here
+        search = PlacementModel(selection_estimators=6, random_state=0)
+        benchmark.pedantic(
+            search.fit, args=(amd_training_set,), rounds=1, iterations=1
+        )
+        errors = search.selection_errors_
+    else:  # pragma: no cover - depends on fixture configuration
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ranked = sorted(errors, key=errors.get)
+    best, worst = ranked[0], ranked[-1]
+    report(
+        "ablation_input_pair",
+        f"pair search CV error: best {best} = {errors[best]*100:.2f}%, "
+        f"worst {worst} = {errors[worst]*100:.2f}% "
+        f"({len(errors)} ordered pairs evaluated)\n"
+        f"the choice of probe placements matters: the worst pair is "
+        f"{errors[worst]/errors[best]:.1f}x the best",
+    )
+    assert errors[worst] > errors[best] * 1.5
+
+
+def test_ablation_forest_size(benchmark, amd_training_set, amd_model, report):
+    pair = amd_model.input_pair
+
+    def sweep():
+        means = {}
+        for n_estimators in (5, 25, 100):
+            results = leave_one_workload_out(
+                lambda: PlacementModel(
+                    input_pair=pair,
+                    n_estimators=n_estimators,
+                    random_state=0,
+                ),
+                amd_training_set,
+                evaluate_names=NAMES,
+            )
+            means[n_estimators] = _mean_mape(results)
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "ablation_forest_size",
+        "mean error vs forest size (AMD): "
+        + ", ".join(f"{k} trees: {v:.2f}%" for k, v in means.items())
+        + "\npaper: RF 'with very little or no tuning'",
+    )
+    assert means[100] <= means[5] + 0.5
+
+
+def test_ablation_halving_search(benchmark, amd_machine, report):
+    """Budgeted pair search (successive halving, the CherryPick-inspired
+    future-work direction of Section 2) vs the exhaustive search."""
+    corpus = paper_workloads() + WorkloadGenerator(seed=5, jitter=0.3).sample(14)
+    ts = build_training_set(amd_machine, 16, corpus)
+
+    def halving():
+        model = PlacementModel(
+            pair_search="halving", selection_estimators=8, random_state=0
+        )
+        model.fit(ts)
+        return model
+
+    halving_model = benchmark.pedantic(halving, rounds=1, iterations=1)
+    exhaustive = PlacementModel(selection_estimators=8, random_state=0).fit(ts)
+    errors = exhaustive.selection_errors_
+    report(
+        "ablation_halving_search",
+        f"exhaustive search: {exhaustive.search_evaluations_} evaluations, "
+        f"pair {exhaustive.input_pair} "
+        f"(CV error {errors[exhaustive.input_pair]*100:.2f}%)\n"
+        f"halving search:   {halving_model.search_evaluations_} evaluations, "
+        f"pair {halving_model.input_pair} "
+        f"(CV error {errors[halving_model.input_pair]*100:.2f}%)",
+    )
+    assert halving_model.search_evaluations_ < exhaustive.search_evaluations_
+    assert (
+        errors[halving_model.input_pair]
+        <= errors[exhaustive.input_pair] * 1.3
+    )
+
+
+def test_ablation_corpus_size(benchmark, amd_machine, amd_model, report):
+    pair = amd_model.input_pair
+
+    def sweep():
+        means = {}
+        for n_synthetic in (16, 64, 128):
+            corpus = paper_workloads() + WorkloadGenerator(
+                seed=42, jitter=0.3
+            ).sample(n_synthetic)
+            ts = build_training_set(amd_machine, 16, corpus)
+            results = leave_one_workload_out(
+                lambda: PlacementModel(input_pair=pair, random_state=0),
+                ts,
+                evaluate_names=NAMES,
+            )
+            means[n_synthetic] = _mean_mape(results)
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "ablation_corpus_size",
+        "mean error vs synthetic-corpus size (AMD): "
+        + ", ".join(f"{k}: {v:.2f}%" for k, v in means.items()),
+    )
+    assert means[128] <= means[16]

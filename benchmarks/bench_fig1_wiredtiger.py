@@ -1,0 +1,73 @@
+"""Figure 1: WiredTiger throughput across node counts on both machines.
+
+Paper's claims:
+* Intel — the application performs significantly better when all of its
+  threads run on a single node.
+* AMD — four nodes are better than two, but only without SMT; eight nodes
+  do not buy better performance.
+"""
+
+from __future__ import annotations
+
+from repro.core import Placement
+from repro.perfsim import PerformanceSimulator, workload_by_name
+
+
+def _figure1_rows(machine, vcpus, node_sets):
+    sim = PerformanceSimulator(machine)
+    wt = workload_by_name("WTbtree")
+    rows = []
+    for nodes in node_sets:
+        for smt in (True, False):
+            try:
+                placement = Placement.balanced(machine, nodes, vcpus, use_smt=smt)
+            except ValueError:
+                continue  # infeasible (the paper omits these bars too)
+            value = sim.throughput(wt, placement, noise=False)
+            rows.append((len(nodes), "SMT" if smt else "no-SMT", value))
+    return rows
+
+
+def _render(rows, title):
+    lines = [title, f"{'nodes':>5}  {'mode':>7}  {'ops/s':>12}"]
+    for n, mode, value in rows:
+        lines.append(f"{n:>5}  {mode:>7}  {value:>12,.0f}")
+    return "\n".join(lines)
+
+
+def test_fig1_intel(benchmark, intel_machine, report):
+    rows = benchmark(
+        _figure1_rows, intel_machine, 24, [[0], [0, 1], [0, 1, 2, 3]]
+    )
+    text = _render(rows, "WiredTiger on the Intel model (paper Fig. 1a)")
+    by_key = {(n, m): v for n, m, v in rows}
+    best = max(by_key, key=by_key.get)
+    text += (
+        f"\n\npaper claim: single-node placement wins -> best is "
+        f"{best[0]} node(s) {best[1]} "
+        f"({'REPRODUCED' if best == (1, 'SMT') else 'NOT reproduced'})"
+    )
+    report("fig1_wiredtiger_intel", text)
+    assert best == (1, "SMT")
+
+
+def test_fig1_amd(benchmark, amd_machine, report):
+    rows = benchmark(
+        _figure1_rows,
+        amd_machine,
+        16,
+        [[2, 3], [2, 3, 4, 5], list(range(8))],
+    )
+    text = _render(rows, "WiredTiger on the AMD model (paper Fig. 1b)")
+    by_key = {(n, m): v for n, m, v in rows}
+    four_beats_two_no_smt = by_key[(4, "no-SMT")] > by_key[(2, "SMT")]
+    four_smt_loses = by_key[(4, "SMT")] < by_key[(2, "SMT")]
+    eight_buys_nothing = by_key[(8, "no-SMT")] <= by_key[(4, "no-SMT")] * 1.02
+    text += (
+        "\n\npaper claims:"
+        f"\n  4 nodes beat 2 without SMT:    {four_beats_two_no_smt}"
+        f"\n  ... but not with SMT:          {four_smt_loses}"
+        f"\n  8 nodes buy no improvement:    {eight_buys_nothing}"
+    )
+    report("fig1_wiredtiger_amd", text)
+    assert four_beats_two_no_smt and four_smt_loses and eight_buys_nothing

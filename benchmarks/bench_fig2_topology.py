@@ -1,0 +1,54 @@
+"""Figure 2: the two machine models, and the interconnect measurement the
+concern layer consumes (the per-combination STREAM table of Section 4)."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.topology import build_bandwidth_table
+
+
+def test_fig2_machine_summaries(benchmark, amd_machine, intel_machine, report):
+    text = benchmark(
+        lambda: amd_machine.summary() + "\n\n" + intel_machine.summary()
+    )
+    checks = [
+        ("AMD: 8 nodes x 8 cores", amd_machine.total_threads == 64),
+        ("AMD: 32 L2 modules of 2", amd_machine.l2_count == 32),
+        ("AMD: asymmetric interconnect", not amd_machine.interconnect.is_symmetric),
+        ("Intel: 96 hardware threads", intel_machine.total_threads == 96),
+        ("Intel: symmetric interconnect", intel_machine.interconnect.is_symmetric),
+        (
+            "AMD: (0,5) and (3,6) are 2 hops apart",
+            amd_machine.interconnect.hop_distance(0, 5) == 2
+            and amd_machine.interconnect.hop_distance(3, 6) == 2,
+        ),
+    ]
+    text += "\n\nFigure-2 checks:\n" + "\n".join(
+        f"  {name}: {ok}" for name, ok in checks
+    )
+    report("fig2_topology", text)
+    assert all(ok for _, ok in checks)
+
+
+def test_fig2_interconnect_measurement(benchmark, amd_machine, report):
+    # The paper measures aggregate bandwidth "for each possible combination
+    # of nodes"; time the full 255-combination sweep.
+    table = benchmark(build_bandwidth_table, amd_machine)
+    pair_scores = sorted(
+        (
+            (tuple(sorted(k)), v)
+            for k, v in table.items()
+            if len(k) == 2
+        ),
+        key=lambda kv: -kv[1],
+    )
+    lines = ["AMD pairwise aggregate bandwidth (MB/s), best pairs first:"]
+    for nodes, value in pair_scores[:8]:
+        lines.append(f"  {nodes}: {value:,.0f}")
+    lines.append(
+        f"\n8-node combination: {table[frozenset(range(8))]:,.0f} MB/s "
+        f"(paper's example score: 35,000)"
+    )
+    report("fig2_interconnect", "\n".join(lines))
+    assert abs(table[frozenset(range(8))] - 35_000.0) < 1.0

@@ -1,0 +1,58 @@
+"""Figure 3: workloads fall into behaviour categories.
+
+The paper clusters performance vectors with k-means, chooses k by the
+silhouette coefficient (six categories on its systems), and plots two
+example categories on the Intel machine.  This benchmark reproduces the
+analysis on a paper-sized workload population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import build_training_set
+from repro.core.clustering import cluster_training_set
+from repro.experiments import clustering_corpus, paper_vcpus
+
+
+def _cluster(machine, baseline_index):
+    corpus = clustering_corpus()
+    ts = build_training_set(
+        machine, paper_vcpus(machine), corpus, baseline_index=baseline_index
+    )
+    return cluster_training_set(ts, random_state=0)
+
+
+def test_fig3_intel_categories(benchmark, intel_machine, report):
+    clusters = benchmark(_cluster, intel_machine, 1)
+    lines = [clusters.describe(), ""]
+    lines.append("silhouette by k: " + ", ".join(
+        f"{k}:{v:.3f}" for k, v in sorted(clusters.silhouette_by_k.items())
+    ))
+    lines.append("")
+    lines.append("two example categories (paper Fig. 3 shows two on Intel):")
+    for label in clusters.example_clusters(2):
+        members = clusters.members(label)
+        named = [m for m in members if not m.startswith("synthetic")]
+        centroid = ", ".join(f"{v:.2f}" for v in clusters.centroids[label])
+        lines.append(
+            f"  category {label} ({len(members)} members"
+            + (f"; named: {', '.join(named[:5])}" if named else "")
+            + f"): shape [{centroid}]"
+        )
+    lines.append(
+        f"\npaper: six categories on their systems; model: k={clusters.k}"
+    )
+    report("fig3_clusters_intel", "\n".join(lines))
+    assert 4 <= clusters.k <= 8
+    # Vectors within a category are almost identical; across categories
+    # they differ (the Figure-3 visual).
+    assert clusters.silhouette > 0.4
+
+
+def test_fig3_amd_categories(benchmark, amd_machine, report):
+    clusters = benchmark(_cluster, amd_machine, 0)
+    text = clusters.describe()
+    text += f"\n\npaper: six categories; model: k={clusters.k}"
+    report("fig3_clusters_amd", text)
+    assert 4 <= clusters.k <= 8

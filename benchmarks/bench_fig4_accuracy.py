@@ -1,0 +1,123 @@
+"""Figure 4: prediction accuracy, per-application cross-validated.
+
+Reproduces the paper's central comparison on both machines:
+
+* the **performance-observation model** (two placements as inputs) —
+  paper: within 4.4% of actual on average on AMD, 6.6% on Intel;
+* the **HPE model** (single-placement hardware events) — paper: "a lot
+  less reliable", with blown predictions for ft.C/freqmine and >40% errors
+  for kmeans and WTbtree on Intel.
+
+Timing: the ``benchmark`` fixture times the final model fit; the paper
+reports training in seconds and inference in milliseconds (see
+``bench_timing.py`` for the explicit claims).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HpeModel, PlacementModel, leave_one_workload_out
+from repro.perfsim import paper_workloads
+
+PAPER_MEAN = {"amd-opteron-6272": 4.4, "intel-xeon-e7-4830-v3": 6.6}
+NAMES = [w.name for w in paper_workloads()]
+
+
+def _evaluate(machine, training_set, input_pair):
+    perf_results = leave_one_workload_out(
+        lambda: PlacementModel(input_pair=input_pair, random_state=0),
+        training_set,
+        evaluate_names=NAMES,
+    )
+    # Feature selection once on the full corpus (generous to the HPE
+    # baseline: any leak favours it, and it still loses).
+    selector = HpeModel(
+        random_state=0, max_features=6, selection_estimators=8
+    ).fit(training_set)
+    hpe_results = leave_one_workload_out(
+        lambda: HpeModel(features=selector.selected_features, random_state=0),
+        training_set,
+        evaluate_names=NAMES,
+    )
+    return perf_results, hpe_results, selector.selected_features
+
+
+def _render(machine_name, perf_results, hpe_results, features):
+    perf = {r.name: r for r in perf_results}
+    hpe = {r.name: r for r in hpe_results}
+    lines = [
+        f"prediction error per workload on {machine_name} "
+        f"(mean |error| over important placements, %):",
+        f"{'workload':16s} {'perf-model':>10} {'hpe-model':>10}",
+    ]
+    for name in NAMES:
+        lines.append(
+            f"{name:16s} {perf[name].mape:>9.1f}% {hpe[name].mape:>9.1f}%"
+        )
+    perf_mean = float(np.mean([perf[n].mape for n in NAMES]))
+    hpe_mean = float(np.mean([hpe[n].mape for n in NAMES]))
+    lines.append(f"{'MEAN':16s} {perf_mean:>9.1f}% {hpe_mean:>9.1f}%")
+    lines.append("")
+    lines.append(
+        f"paper: perf-model mean {PAPER_MEAN[machine_name]}%; "
+        "HPE model noticeably worse"
+    )
+    lines.append(f"HPE features selected by SFS: {features}")
+    return lines, perf_mean, hpe_mean
+
+
+def _example_vectors(perf_results, names=("WTbtree", "streamcluster")):
+    lines = ["", "example vectors (actual vs perf-model prediction):"]
+    by_name = {r.name: r for r in perf_results}
+    for name in names:
+        r = by_name[name]
+        lines.append(f"  {name} actual:    "
+                     + " ".join(f"{v:5.2f}" for v in r.actual))
+        lines.append(f"  {name} predicted: "
+                     + " ".join(f"{v:5.2f}" for v in r.predicted))
+    return lines
+
+
+def test_fig4_amd(benchmark, amd_machine, amd_training_set, amd_model, report):
+    benchmark(
+        lambda: PlacementModel(
+            input_pair=amd_model.input_pair, random_state=0
+        ).fit(amd_training_set)
+    )
+    perf_results, hpe_results, features = _evaluate(
+        amd_machine, amd_training_set, amd_model.input_pair
+    )
+    lines, perf_mean, hpe_mean = _render(
+        amd_machine.name, perf_results, hpe_results, features
+    )
+    lines += _example_vectors(perf_results)
+    report("fig4_accuracy_amd", "\n".join(lines))
+    assert perf_mean < 8.0  # paper: 4.4%
+    assert hpe_mean > perf_mean  # the paper's headline comparison
+
+
+def test_fig4_intel(
+    benchmark, intel_machine, intel_training_set, intel_model, report
+):
+    benchmark(
+        lambda: PlacementModel(
+            input_pair=intel_model.input_pair, random_state=0
+        ).fit(intel_training_set)
+    )
+    perf_results, hpe_results, features = _evaluate(
+        intel_machine, intel_training_set, intel_model.input_pair
+    )
+    lines, perf_mean, hpe_mean = _render(
+        intel_machine.name, perf_results, hpe_results, features
+    )
+    hpe = {r.name: r for r in hpe_results}
+    worst = sorted(hpe, key=lambda n: -hpe[n].mape)[:4]
+    lines.append(
+        "HPE model's worst cases on Intel "
+        "(paper: ft.C, freqmine trends missed; kmeans, WTbtree >40%): "
+        + ", ".join(f"{n}={hpe[n].mape:.0f}%" for n in worst)
+    )
+    report("fig4_accuracy_intel", "\n".join(lines))
+    assert perf_mean < 8.0  # paper: 6.6%
+    assert hpe_mean > perf_mean

@@ -1,0 +1,142 @@
+"""Figure 5: instances per machine and goal violations for four policies.
+
+Reproduces the packing experiment for the paper's three container types
+(WiredTiger, Postgres TPC-H, Spark PageRank) on both machines at goals of
+90%, 100%, and 110% of the baseline placement's throughput.
+
+Claims checked:
+* ML always meets the performance goal while usually packing more
+  instances than Conservative;
+* Aggressive packs the maximum number of instances at the cost of large
+  violations;
+* Smart-Aggressive fixes Aggressive's node sharing but can still violate
+  (the paper's example: 20% for WiredTiger on AMD).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    AggressivePolicy,
+    ConservativePolicy,
+    MlPolicy,
+    SmartAggressivePolicy,
+    evaluate_policy,
+)
+from repro.experiments import paper_vcpus
+from repro.perfsim import PerformanceSimulator, workload_by_name
+
+WORKLOADS = ("WTbtree", "postgres-tpch", "spark-pr-lj")
+GOALS = (0.9, 1.0, 1.1)
+
+
+def _run_grid(machine, model, training_set):
+    sim = PerformanceSimulator(machine)
+    placements = training_set.placements
+    baseline = placements[model.input_pair[0]]
+    vcpus = paper_vcpus(machine)
+    policies = [
+        MlPolicy(model, placements, sim),
+        ConservativePolicy(),
+        AggressivePolicy(),
+        SmartAggressivePolicy(),
+    ]
+    grid = {}
+    for wname in WORKLOADS:
+        profile = workload_by_name(wname)
+        for goal in GOALS:
+            for policy in policies:
+                outcome = evaluate_policy(
+                    policy,
+                    machine,
+                    profile,
+                    vcpus,
+                    goal_fraction=goal,
+                    baseline_placement=baseline,
+                    simulator=sim,
+                )
+                grid[(wname, goal, policy.name)] = outcome
+    return grid
+
+
+def _render(machine_name, grid):
+    lines = [
+        f"instances per machine (n) and worst goal violation (v%) on "
+        f"{machine_name}:",
+        f"{'workload':14s} {'goal':>5} "
+        f"{'ML':>12} {'Conservative':>14} {'Aggressive':>12} {'Smart-Aggr':>12}",
+    ]
+    for wname in WORKLOADS:
+        for goal in GOALS:
+            cells = []
+            for policy in ("ML", "Conservative", "Aggressive", "Aggressive (Smart)"):
+                o = grid[(wname, goal, policy)]
+                cells.append(f"n={o.instances} v={o.violations_pct:>3.0f}%")
+            lines.append(
+                f"{wname:14s} {goal:>4.0%} "
+                f"{cells[0]:>12} {cells[1]:>14} {cells[2]:>12} {cells[3]:>12}"
+            )
+    return lines
+
+
+def _claims(grid):
+    ml = [o for (w, g, p), o in grid.items() if p == "ML"]
+    conservative = [o for (w, g, p), o in grid.items() if p == "Conservative"]
+    aggressive = [o for (w, g, p), o in grid.items() if p == "Aggressive"]
+    ml_meets = all(o.violations_pct < 1.0 for o in ml)
+    packs_more = (
+        np.mean([o.instances for o in ml])
+        > np.mean([o.instances for o in conservative])
+    )
+    aggressive_packs_max = all(o.instances == 4 for o in aggressive)
+    aggressive_violates = max(o.violations_pct for o in aggressive) > 15.0
+    return ml_meets, packs_more, aggressive_packs_max, aggressive_violates
+
+
+def test_fig5_amd(benchmark, amd_machine, amd_model, amd_training_set, report):
+    grid = benchmark.pedantic(
+        _run_grid,
+        args=(amd_machine, amd_model, amd_training_set),
+        rounds=1,
+        iterations=1,
+    )
+    lines = _render(amd_machine.name, grid)
+    ml_meets, packs_more, packs_max, violates = _claims(grid)
+    lines += [
+        "",
+        f"ML always meets the goal:            {ml_meets}",
+        f"ML packs more than Conservative:     {packs_more}",
+        f"Aggressive packs the maximum (4):    {packs_max}",
+        f"Aggressive violates heavily (>15%):  {violates}",
+        "paper: smart-aggressive still violates ~20% for WiredTiger/AMD -> "
+        f"model: {grid[('WTbtree', 1.0, 'Aggressive (Smart)')].violations_pct:.0f}%",
+    ]
+    report("fig5_policies_amd", "\n".join(lines))
+    assert ml_meets and packs_more and packs_max and violates
+
+
+def test_fig5_intel(
+    benchmark, intel_machine, intel_model, intel_training_set, report
+):
+    grid = benchmark.pedantic(
+        _run_grid,
+        args=(intel_machine, intel_model, intel_training_set),
+        rounds=1,
+        iterations=1,
+    )
+    lines = _render(intel_machine.name, grid)
+    ml_meets, packs_more, packs_max, violates = _claims(grid)
+    smart = [
+        o for (w, g, p), o in grid.items() if p == "Aggressive (Smart)"
+    ]
+    smart_fixes_intel = max(o.violations_pct for o in smart) < 5.0
+    lines += [
+        "",
+        f"ML always meets the goal:            {ml_meets}",
+        f"Aggressive packs the maximum (4):    {packs_max}",
+        f"Aggressive violates heavily (>15%):  {violates}",
+        f"Smart-Aggressive fixes Intel:        {smart_fixes_intel}",
+    ]
+    report("fig5_policies_intel", "\n".join(lines))
+    assert ml_meets and packs_max and violates and smart_fixes_intel

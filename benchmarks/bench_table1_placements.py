@@ -1,0 +1,52 @@
+"""Table 1 + the Section-4 enumeration counts.
+
+Regenerates the scheduling-concern table for the AMD machine and the
+important-placement lists for both machines: 13 on AMD (two 8-node, eight
+4-node, three 2-node), 7 on Intel.  Times the full enumeration (the paper:
+"the algorithms used to determine important placements also run in a matter
+of seconds").
+"""
+
+from __future__ import annotations
+
+from repro.core import concerns_for, enumerate_important_placements
+
+
+def test_table1_concerns(benchmark, amd_machine, report):
+    concerns = benchmark(concerns_for, amd_machine)
+    text = concerns.table()
+    names = [c.name for c in concerns]
+    text += (
+        "\n\npaper's Table 1 concerns: L2/SMT, L3, Interconnect -> "
+        f"model: {names}"
+    )
+    report("table1_concerns", text)
+    assert names == ["l2", "l3", "interconnect"]
+
+
+def test_amd_important_placements(benchmark, amd_machine, report):
+    ips = benchmark(enumerate_important_placements, amd_machine, 16)
+    text = ips.describe()
+    text += (
+        f"\n\npaper: 13 important placements "
+        f"(two 8-node, eight 4-node, three 2-node)"
+        f"\nmodel: {len(ips)} placements, composition "
+        f"{ips.counts_by_node_count()}"
+    )
+    report("table1_amd_placements", text)
+    assert len(ips) == 13
+    assert ips.counts_by_node_count() == {2: 3, 4: 8, 8: 2}
+
+
+def test_intel_important_placements(benchmark, intel_machine, report):
+    ips = benchmark(enumerate_important_placements, intel_machine, 24)
+    text = ips.describe()
+    text += (
+        f"\n\npaper: 7 important placements (one 1-node, two 2-node, "
+        f"two 3-node, two 4-node)"
+        f"\nmodel: {len(ips)} placements, composition "
+        f"{ips.counts_by_node_count()}"
+    )
+    report("table1_intel_placements", text)
+    assert len(ips) == 7
+    assert ips.counts_by_node_count() == {1: 1, 2: 2, 3: 2, 4: 2}

@@ -1,0 +1,104 @@
+"""Table 2: migration performance, fast method vs default Linux, plus the
+Section-7 throttled-migration numbers for WiredTiger."""
+
+from __future__ import annotations
+
+from repro.migration import (
+    ContainerMemory,
+    DefaultLinuxMigrator,
+    FastMigrator,
+    ThrottledMigrator,
+)
+from repro.perfsim import paper_workloads, workload_by_name
+
+#: Table 2 of the paper: (fast migration s, default Linux s).
+TABLE2 = {
+    "BLAST": (3.0, 5.9),
+    "canneal": (0.3, 3.9),
+    "fluidanimate": (0.3, 2.3),
+    "freqmine": (0.3, 4.2),
+    "gcc": (0.3, 2.8),
+    "kmeans": (1.5, 6.5),
+    "pca": (2.8, 10.0),
+    "postgres-tpch": (5.8, 117.1),
+    "postgres-tpcc": (14.9, 431.0),
+    "spark-cc": (3.7, 139.9),
+    "spark-pr-lj": (3.8, 137.0),
+    "streamcluster": (0.1, 0.4),
+    "swaptions": (0.1, 0.0),
+    "ft.C": (1.3, 19.4),
+    "dc.B": (5.4, 51.7),
+    "wc": (3.4, 19.5),
+    "wr": (3.6, 18.9),
+    "WTbtree": (6.3, 43.8),
+}
+
+
+def _run_table(profiles):
+    fast, linux = FastMigrator(), DefaultLinuxMigrator()
+    rows = []
+    for profile in profiles:
+        memory = ContainerMemory.from_profile(profile)
+        rows.append(
+            (
+                profile.name,
+                memory.total_gb,
+                fast.migrate(memory).seconds,
+                linux.migrate(memory).seconds,
+            )
+        )
+    return rows
+
+
+def test_table2_migration(benchmark, report):
+    rows = benchmark(_run_table, paper_workloads())
+    lines = [
+        "migration time on the AMD model (seconds):",
+        f"{'workload':15s} {'mem GB':>7} "
+        f"{'fast':>7} {'paper':>7} {'linux':>8} {'paper':>8}",
+    ]
+    within = 0
+    comparable = 0
+    for name, gb, fast_s, linux_s in rows:
+        paper_fast, paper_linux = TABLE2[name]
+        lines.append(
+            f"{name:15s} {gb:>7.1f} {fast_s:>7.1f} {paper_fast:>7.1f} "
+            f"{linux_s:>8.1f} {paper_linux:>8.1f}"
+        )
+        if paper_fast >= 0.2 and paper_linux >= 1.0:
+            comparable += 1
+            if (
+                0.5 <= fast_s / paper_fast <= 2.0
+                and 0.5 <= linux_s / paper_linux <= 2.0
+            ):
+                within += 1
+    spark = dict((r[0], r) for r in rows)["spark-cc"]
+    speedup = spark[3] / spark[2]
+    lines += [
+        "",
+        f"rows within 2x of the paper (both columns): {within}/{comparable}",
+        f"spark-cc speedup: {speedup:.0f}x (paper: 38x)",
+    ]
+    report("table2_migration", "\n".join(lines))
+    assert within == comparable
+    assert speedup > 25
+
+
+def test_section7_throttled_wiredtiger(benchmark, report):
+    memory = ContainerMemory.from_profile(workload_by_name("WTbtree"))
+    result = benchmark(ThrottledMigrator().migrate, memory)
+    linux = DefaultLinuxMigrator().migrate(memory)
+    lines = [
+        "non-freezing migration of WiredTiger (Section 7):",
+        f"  throttled: {result.seconds:.1f}s at "
+        f"{result.overhead_fraction * 100:.1f}% overhead, no freeze "
+        f"(paper: 60s, 3-6%)",
+        f"  default Linux: {linux.seconds:.1f}s at "
+        f"{linux.overhead_fraction * 100:.0f}% overhead, stalls the "
+        f"application {linux.frozen_seconds:.1f}s, leaves "
+        f"{linux.left_behind_gb:.1f} GB of page cache behind "
+        f"(paper: 43.8s, >=20%, multi-second freezes)",
+    ]
+    report("section7_throttled", "\n".join(lines))
+    assert 50 <= result.seconds <= 70
+    assert 0.03 <= result.overhead_fraction <= 0.06

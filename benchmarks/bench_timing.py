@@ -1,0 +1,82 @@
+"""Section 6's timing claims.
+
+"Since our training method does not require automatic feature selection,
+training the model takes seconds.  The algorithms used to determine
+important placements also run in a matter of seconds.  The inference time
+is negligible (milliseconds)."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PlacementModel, enumerate_important_placements
+from repro.perfsim import WorkloadGenerator, paper_workloads
+from repro.core.training import build_training_set
+
+
+def test_enumeration_runs_in_seconds(benchmark, amd_machine, report):
+    result = benchmark(enumerate_important_placements, amd_machine, 16)
+    stats = benchmark.stats.stats
+    report(
+        "timing_enumeration",
+        f"important-placement enumeration (AMD, 16 vCPUs): "
+        f"{stats.mean * 1000:.0f} ms mean "
+        f"(paper: 'a matter of seconds')",
+    )
+    assert len(result) == 13
+    assert stats.mean < 5.0
+
+
+def test_training_runs_in_seconds(
+    benchmark, amd_training_set, amd_model, report
+):
+    def fit():
+        return PlacementModel(
+            input_pair=amd_model.input_pair, random_state=0
+        ).fit(amd_training_set)
+
+    benchmark(fit)
+    stats = benchmark.stats.stats
+    report(
+        "timing_training",
+        f"final model training ({len(amd_training_set)} workloads, "
+        f"100 trees): {stats.mean:.2f} s mean (paper: 'seconds'; the\n"
+        f"automatic input-pair search on top of this is about a minute "
+        f"and runs once per machine+vCPU configuration)",
+    )
+    assert stats.mean < 30.0
+
+
+def test_inference_is_milliseconds(benchmark, amd_model, report):
+    benchmark(amd_model.predict, 1.0, 1.3)
+    stats = benchmark.stats.stats
+    report(
+        "timing_inference",
+        f"inference: {stats.mean * 1000:.1f} ms mean for a full "
+        f"13-placement vector (paper: 'negligible (milliseconds)')",
+    )
+    assert stats.mean < 0.25
+
+
+def test_pair_search_cost(benchmark, amd_machine, report):
+    """The automatic input-pair search on a reduced corpus (to keep the
+    benchmark fast); the canonical full-corpus search takes ~1 minute."""
+    corpus = paper_workloads() + WorkloadGenerator(seed=5, jitter=0.3).sample(14)
+    ts = build_training_set(amd_machine, 16, corpus)
+
+    def search():
+        model = PlacementModel(
+            selection_estimators=6, selection_folds=3, random_state=0
+        )
+        model.fit(ts)
+        return model.input_pair
+
+    pair = benchmark.pedantic(search, rounds=1, iterations=1)
+    stats = benchmark.stats.stats
+    report(
+        "timing_pair_search",
+        f"automatic input-pair search over all 156 ordered pairs "
+        f"({len(ts)} workloads, light forests): {stats.mean:.1f} s; "
+        f"selected {pair}",
+    )

@@ -1,0 +1,77 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper: it
+prints a side-by-side "paper vs model" report (bypassing pytest's capture,
+so the report appears in the terminal and in ``bench_output.txt``) and also
+saves it under ``benchmarks/results/``.  The ``benchmark`` fixture times a
+representative kernel of the experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.experiments import (
+    fitted_model,
+    standard_training_set,
+)
+from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Writer that bypasses pytest capture and persists reports."""
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+
+    def write(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n"
+        if capmanager is not None:
+            with capmanager.global_and_fixture_disabled():
+                sys.stdout.write(banner + text + "\n")
+                sys.stdout.flush()
+        else:  # pragma: no cover - capture plugin always present
+            sys.__stdout__.write(banner + text + "\n")
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def amd_machine():
+    return amd_opteron_6272()
+
+
+@pytest.fixture(scope="session")
+def intel_machine():
+    return intel_xeon_e7_4830_v3()
+
+
+@pytest.fixture(scope="session")
+def amd_training_set(amd_machine):
+    return standard_training_set(amd_machine)
+
+
+@pytest.fixture(scope="session")
+def intel_training_set(intel_machine):
+    return standard_training_set(intel_machine)
+
+
+@pytest.fixture(scope="session")
+def amd_model(amd_machine, amd_training_set):
+    model, _ = fitted_model(amd_machine, amd_training_set)
+    return model
+
+
+@pytest.fixture(scope="session")
+def intel_model(intel_machine, intel_training_set):
+    model, _ = fitted_model(intel_machine, intel_training_set)
+    return model

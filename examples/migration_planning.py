@@ -1,0 +1,58 @@
+"""Migration planning: is online placement worth the move?
+
+Section 7 closes with operational guidance: migration overhead is
+proportional to the container's memory footprint, so the operator should
+check whether probing (which migrates the container up to twice) is worth
+it, or whether the placement should be computed offline for recurring jobs.
+
+This example prices all three migration mechanisms for every paper
+workload and prints the planner's recommendation.
+
+Run:  python examples/migration_planning.py
+"""
+
+from repro.migration import (
+    ContainerMemory,
+    DefaultLinuxMigrator,
+    FastMigrator,
+    MigrationPlanner,
+    ThrottledMigrator,
+)
+from repro.perfsim import paper_workloads
+
+
+def main() -> None:
+    planner = MigrationPlanner()
+    print(
+        f"{'workload':15s} {'memory':>8} {'fast':>7} {'linux':>8} "
+        f"{'throttled':>10}   recommendation"
+    )
+    for profile in paper_workloads():
+        memory = ContainerMemory.from_profile(profile)
+        advice = planner.advise(profile)
+        fast = advice.results["fast"].seconds
+        linux = advice.results["default-linux"].seconds
+        throttled = advice.results["throttled"].seconds
+        print(
+            f"{profile.name:15s} {memory.total_gb:>6.1f}GB "
+            f"{fast:>6.1f}s {linux:>7.1f}s {throttled:>9.1f}s"
+            f"   {advice.recommended}"
+        )
+
+    print()
+    wt = [p for p in paper_workloads() if p.name == "WTbtree"][0]
+    advice = planner.advise(wt)
+    print(f"WiredTiger detail: {advice.reason}")
+    result = advice.results["throttled"]
+    print(
+        f"  throttled migration keeps the database online: "
+        f"{result.seconds:.0f}s at {result.overhead_fraction:.0%} overhead "
+        f"(default Linux would stall it for "
+        f"{advice.results['default-linux'].frozen_seconds:.0f}s and leave "
+        f"{advice.results['default-linux'].left_behind_gb:.0f} GB of page "
+        f"cache on the old nodes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

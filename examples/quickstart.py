@@ -1,0 +1,71 @@
+"""Quickstart: from a machine model to a placement decision.
+
+Walks the paper's four steps for one container on the AMD machine model:
+
+1. the shared-resource specification (scheduling concerns) is derived from
+   the machine model;
+2. the important placements are enumerated;
+3. a performance model is trained for the machine and container size;
+4. an arriving container is probed in two placements, its performance
+   vector is predicted, and a placement is chosen.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import amd_opteron_6272, concerns_for, enumerate_important_placements
+from repro.experiments import fitted_model
+from repro.perfsim import PerformanceSimulator, workload_by_name
+
+
+def main() -> None:
+    # Step 1: machine model and its scheduling concerns (paper Table 1).
+    machine = amd_opteron_6272()
+    print(machine.summary())
+    print()
+    concerns = concerns_for(machine)
+    print(concerns.table())
+    print()
+
+    # Step 2: important placements for a 16-vCPU container.
+    placements = enumerate_important_placements(machine, 16, concerns)
+    print(placements.describe())
+    print()
+
+    # Step 3: train the model (uses the cached canonical input pair; pass
+    # select_pair=True to watch the automatic search instead).
+    model, training_set = fitted_model(machine)
+    i, j = model.input_pair
+    print(
+        f"model trained on {len(training_set)} workloads; input placements "
+        f"#{i + 1} and #{j + 1}"
+    )
+    print()
+
+    # Step 4: probe a new container in the two input placements and predict
+    # everything else.  WiredTiger stands in for the arriving container.
+    simulator = PerformanceSimulator(machine)
+    workload = workload_by_name("WTbtree")
+    obs_i = simulator.measured_ipc(workload, placements[i], duration_s=3.0)
+    obs_j = simulator.measured_ipc(workload, placements[j], duration_s=3.0)
+    predicted = model.predict(obs_i, obs_j)
+
+    print(f"predicted relative performance for {workload.name}:")
+    for placement_id, (placement, value) in enumerate(
+        zip(placements, predicted), start=1
+    ):
+        actual = simulator.measured_ipc(
+            workload, placement, noise=False
+        ) / simulator.measured_ipc(workload, placements[i], noise=False)
+        print(
+            f"  #{placement_id:>2} {placement.describe():55s} "
+            f"predicted {value:5.2f}  (actual {actual:5.2f})"
+        )
+
+    best = max(range(len(placements)), key=lambda k: predicted[k])
+    print(
+        f"\nbest placement: #{best + 1} — {placements[best].describe()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip falls back to ``setup.py develop`` with
+``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — reproduction of Funston et al., "Placement of Virtual Containers
+on NUMA systems: A Practical and Comprehensive Model" (USENIX ATC 2018).
+
+The library is organized one subpackage per subsystem:
+
+* :mod:`repro.topology` — NUMA machine models (nodes, cache groups,
+  asymmetric interconnects), the two paper machines as calibrated presets,
+  sysfs-style serialization, and the STREAM-like bandwidth probe.
+* :mod:`repro.core` — the paper's contribution: scheduling concerns,
+  important-placement enumeration (Algorithms 1-3), the two-observation
+  performance model and its HPE baseline, behaviour clustering, the four
+  packing policies, the interleaving extension, and the end-to-end
+  scheduler.
+* :mod:`repro.ml` — from-scratch ML substrate (multi-output random forest,
+  k-means/silhouette, forward selection, successive halving, CV).
+* :mod:`repro.perfsim` — the simulated testbed: workload profiles, the
+  placement performance simulator, synthetic hardware performance events,
+  the paper's 18 workloads, and the synthetic-corpus generator.
+* :mod:`repro.migration` — container memory-migration engines and cost
+  models (Table 2), plus the online-vs-offline planner.
+* :mod:`repro.containers` — virtual containers and the simulated host.
+* :mod:`repro.experiments` — the canonical trained configurations shared
+  by benchmarks and examples.
+* :mod:`repro.cli` — ``python -m repro`` command-line front-end.
+
+Quickstart
+----------
+>>> from repro import amd_opteron_6272, important_placements
+>>> machine = amd_opteron_6272()
+>>> len(important_placements(machine, vcpus=16))
+13
+"""
+
+from repro.topology import (
+    MachineTopology,
+    TopologyBuilder,
+    Interconnect,
+    amd_opteron_6272,
+    intel_xeon_e7_4830_v3,
+    amd_epyc_zen,
+    intel_haswell_cod,
+)
+from repro.core import (
+    SchedulingConcern,
+    CountingConcern,
+    BandwidthConcern,
+    ConcernSet,
+    concerns_for,
+    Placement,
+    ScoreVector,
+    important_placements,
+    enumerate_important_placements,
+    PlacementModel,
+    HpeModel,
+    PlacementScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineTopology",
+    "TopologyBuilder",
+    "Interconnect",
+    "amd_opteron_6272",
+    "intel_xeon_e7_4830_v3",
+    "amd_epyc_zen",
+    "intel_haswell_cod",
+    "SchedulingConcern",
+    "CountingConcern",
+    "BandwidthConcern",
+    "ConcernSet",
+    "concerns_for",
+    "Placement",
+    "ScoreVector",
+    "important_placements",
+    "enumerate_important_placements",
+    "PlacementModel",
+    "HpeModel",
+    "PlacementScheduler",
+    "__version__",
+]

@@ -1,0 +1,215 @@
+"""Command-line interface: the paper's workflow without writing Python.
+
+Subcommands mirror the paper's steps:
+
+* ``machines`` — list the built-in machine models;
+* ``concerns`` — show a machine's scheduling concerns (Table 1);
+* ``enumerate`` — list the important placements for a container size;
+* ``predict`` — train the canonical model and predict a workload's
+  performance vector from two probe observations;
+* ``policies`` — run the Figure-5 packing comparison for one workload;
+* ``migrate-plan`` — price the migration of a workload and recommend a
+  mechanism (Table 2 / Section 7).
+
+Run ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Sequence
+
+from repro.core import (
+    AggressivePolicy,
+    ConservativePolicy,
+    MlPolicy,
+    SmartAggressivePolicy,
+    concerns_for,
+    enumerate_important_placements,
+    evaluate_policy,
+)
+from repro.experiments import fitted_model, paper_vcpus
+from repro.migration import MigrationPlanner
+from repro.perfsim import (
+    PerformanceSimulator,
+    paper_workloads,
+    workload_by_name,
+)
+from repro.topology import (
+    amd_epyc_zen,
+    amd_opteron_6272,
+    intel_haswell_cod,
+    intel_xeon_e7_4830_v3,
+)
+
+MACHINES: Dict[str, Callable] = {
+    "amd": amd_opteron_6272,
+    "intel": intel_xeon_e7_4830_v3,
+    "zen": amd_epyc_zen,
+    "cod": intel_haswell_cod,
+}
+
+
+def _machine(name: str):
+    try:
+        return MACHINES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {', '.join(MACHINES)}"
+        )
+
+
+def cmd_machines(_args) -> int:
+    for key, factory in MACHINES.items():
+        machine = factory()
+        print(f"[{key}]")
+        print(machine.summary())
+        print()
+    return 0
+
+
+def cmd_concerns(args) -> int:
+    machine = _machine(args.machine)
+    print(concerns_for(machine).table())
+    return 0
+
+
+def cmd_enumerate(args) -> int:
+    machine = _machine(args.machine)
+    vcpus = args.vcpus or paper_vcpus(machine)
+    ips = enumerate_important_placements(machine, vcpus)
+    print(ips.describe())
+    return 0
+
+
+def cmd_predict(args) -> int:
+    machine = _machine(args.machine)
+    workload = workload_by_name(args.workload)
+    model, training_set = fitted_model(machine)
+    placements = training_set.placements
+    i, j = model.input_pair
+    simulator = PerformanceSimulator(machine)
+    obs_i = simulator.measured_ipc(workload, placements[i], duration_s=3.0)
+    obs_j = simulator.measured_ipc(workload, placements[j], duration_s=3.0)
+    vector = model.predict(obs_i, obs_j)
+    print(
+        f"{workload.name}: probed #{i + 1} ({obs_i:.3f} IPC) and "
+        f"#{j + 1} ({obs_j:.3f} IPC)"
+    )
+    for placement_id, (placement, value) in enumerate(
+        zip(placements, vector), start=1
+    ):
+        marker = " <- best" if value == vector.max() else ""
+        print(f"  #{placement_id:>2} {placement.describe():55s} {value:5.2f}{marker}")
+    if args.goal is not None:
+        meeting = [
+            (p, v)
+            for p, v in zip(placements, vector)
+            if v >= args.goal
+        ]
+        if meeting:
+            placement, value = min(meeting, key=lambda c: (c[0].n_nodes, -c[1]))
+            print(
+                f"\ncheapest placement meeting {args.goal:.0%} of baseline: "
+                f"{placement.describe()} (predicted {value:.2f})"
+            )
+        else:
+            print(f"\nno placement is predicted to meet {args.goal:.0%}")
+    return 0
+
+
+def cmd_policies(args) -> int:
+    machine = _machine(args.machine)
+    workload = workload_by_name(args.workload)
+    simulator = PerformanceSimulator(machine)
+    model, training_set = fitted_model(machine)
+    placements = training_set.placements
+    baseline = placements[model.input_pair[0]]
+    vcpus = paper_vcpus(machine)
+    print(
+        f"{workload.name} on {machine.name}, goal "
+        f"{args.goal:.0%} of baseline placement:"
+    )
+    for policy in (
+        MlPolicy(model, placements, simulator),
+        ConservativePolicy(),
+        AggressivePolicy(),
+        SmartAggressivePolicy(),
+    ):
+        outcome = evaluate_policy(
+            policy,
+            machine,
+            workload,
+            vcpus,
+            goal_fraction=args.goal,
+            baseline_placement=baseline,
+            simulator=simulator,
+        )
+        print(
+            f"  {policy.name:20s} instances={outcome.instances} "
+            f"worst-violation={outcome.violations_pct:.0f}%"
+        )
+    return 0
+
+
+def cmd_migrate_plan(args) -> int:
+    planner = MigrationPlanner()
+    workloads = (
+        [workload_by_name(args.workload)]
+        if args.workload
+        else paper_workloads()
+    )
+    for workload in workloads:
+        advice = planner.advise(workload)
+        print(f"{workload.name:15s} -> {advice.recommended:9s} {advice.reason}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list machine models").set_defaults(
+        func=cmd_machines
+    )
+
+    p = sub.add_parser("concerns", help="show a machine's scheduling concerns")
+    p.add_argument("--machine", default="amd", choices=sorted(MACHINES))
+    p.set_defaults(func=cmd_concerns)
+
+    p = sub.add_parser("enumerate", help="list important placements")
+    p.add_argument("--machine", default="amd", choices=sorted(MACHINES))
+    p.add_argument("--vcpus", type=int, default=None)
+    p.set_defaults(func=cmd_enumerate)
+
+    p = sub.add_parser("predict", help="predict a workload's vector")
+    p.add_argument("--machine", default="amd", choices=sorted(MACHINES))
+    p.add_argument("--workload", default="WTbtree")
+    p.add_argument("--goal", type=float, default=None)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("policies", help="compare packing policies")
+    p.add_argument("--machine", default="amd", choices=sorted(MACHINES))
+    p.add_argument("--workload", default="WTbtree")
+    p.add_argument("--goal", type=float, default=1.0)
+    p.set_defaults(func=cmd_policies)
+
+    p = sub.add_parser("migrate-plan", help="price container migration")
+    p.add_argument("--workload", default=None)
+    p.set_defaults(func=cmd_migrate_plan)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

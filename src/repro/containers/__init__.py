@@ -1,0 +1,15 @@
+"""Virtual containers and the simulated host they run on.
+
+The paper runs workloads in lxc containers whose vCPUs the scheduler maps
+to hardware threads.  :class:`~repro.containers.container.VirtualContainer`
+is that unit of deployment; :class:`~repro.containers.host.SimulatedHost`
+stands in for the physical machine + container runtime: it deploys
+containers (pinned to a placement, or unpinned under a Linux-CFS-like
+default mapping), models interference between co-located containers, and
+reports the online performance metric the model consumes.
+"""
+
+from repro.containers.container import VirtualContainer
+from repro.containers.host import Deployment, SimulatedHost
+
+__all__ = ["VirtualContainer", "Deployment", "SimulatedHost"]

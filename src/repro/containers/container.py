@@ -1,0 +1,42 @@
+"""The unit of deployment: a virtual container."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.perfsim.workload import WorkloadProfile
+
+_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class VirtualContainer:
+    """A containerized workload with a fixed vCPU count.
+
+    Managed clouds sell instances with fixed vCPU counts (Section 3), which
+    is why the methodology trains one model per (machine, vCPU count) and a
+    container's size never changes after creation.
+    """
+
+    profile: WorkloadProfile
+    vcpus: int
+    name: str = ""
+    container_id: int = field(default_factory=lambda: next(_ids))
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ValueError("vcpus must be >= 1")
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"{self.profile.name}-{self.container_id}"
+            )
+
+    @property
+    def metric_name(self) -> str:
+        return self.profile.metric_name
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualContainer({self.name!r}, vcpus={self.vcpus})"
+        )

@@ -1,0 +1,163 @@
+"""The end-to-end scheduler prototype (Section 1, steps 1-4; Section 7).
+
+One :class:`PlacementScheduler` wires everything together for a single
+machine:
+
+1. the concern specification comes from the machine model (step 1);
+2. the important placements are enumerated once (step 2);
+3. a model trained for the machine and vCPU count predicts performance
+   vectors from two probe runs (step 3);
+4. the scheduler runs an arriving container in the two input placements for
+   a couple of seconds each, predicts, chooses a final placement subject to
+   the operator's goal, and migrates the container there — charging the
+   migration cost modelled by :mod:`repro.migration` (step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.containers.container import VirtualContainer
+from repro.containers.host import SimulatedHost
+from repro.core.enumeration import ImportantPlacementSet
+from repro.core.model import PlacementModel
+from repro.core.placements import Placement
+from repro.migration.memory import ContainerMemory
+from repro.migration.planner import MigrationAdvice, MigrationPlanner
+
+
+@dataclass
+class SchedulerReport:
+    """Everything that happened while placing one container."""
+
+    container: str
+    probe_observations: Tuple[float, float]
+    predicted_vector: np.ndarray
+    chosen_placement: Placement
+    chosen_id: int
+    goal_fraction: float | None
+    predicted_relative: float
+    migration: MigrationAdvice
+    probe_seconds: float
+
+    def summary(self) -> str:
+        lines = [
+            f"container {self.container}:",
+            f"  probed {self.probe_observations[0]:.3f} / "
+            f"{self.probe_observations[1]:.3f} IPC in the two input placements "
+            f"({self.probe_seconds:.1f}s of probing)",
+            f"  chose placement #{self.chosen_id}: "
+            f"{self.chosen_placement.describe()}",
+            f"  predicted relative performance {self.predicted_relative:.2f}"
+            + (
+                f" (goal {self.goal_fraction:.2f})"
+                if self.goal_fraction is not None
+                else ""
+            ),
+            f"  migration: {self.migration.recommended} — {self.migration.reason}",
+        ]
+        return "\n".join(lines)
+
+
+class PlacementScheduler:
+    """Places containers on one machine using the trained model.
+
+    Parameters
+    ----------
+    host:
+        The machine (with its container runtime).
+    model:
+        A fitted :class:`PlacementModel` for this machine and vCPU count.
+    placements:
+        The machine's important placements (the model's output space).
+    probe_duration_s:
+        How long each probe placement runs ("for a couple of seconds",
+        Section 1).
+    planner:
+        Migration planner used for the final move.
+    """
+
+    def __init__(
+        self,
+        host: SimulatedHost,
+        model: PlacementModel,
+        placements: ImportantPlacementSet,
+        *,
+        probe_duration_s: float = 3.0,
+        planner: MigrationPlanner | None = None,
+    ) -> None:
+        if model.input_pair is None:
+            raise ValueError("model must be fitted before scheduling")
+        self.host = host
+        self.model = model
+        self.placements = placements
+        self.probe_duration_s = probe_duration_s
+        self.planner = planner or MigrationPlanner()
+
+    def place(
+        self,
+        container: VirtualContainer,
+        *,
+        goal_fraction: float | None = None,
+    ) -> SchedulerReport:
+        """Probe, predict, choose, and migrate one container.
+
+        With a ``goal_fraction`` the scheduler picks the placement using
+        the fewest NUMA nodes whose predicted performance (relative to the
+        model baseline) meets the goal — the cost/performance trade-off of
+        Section 1.  Without one it simply maximizes predicted performance.
+        """
+        if container.vcpus != self.placements.vcpus:
+            raise ValueError(
+                f"container has {container.vcpus} vCPUs, model was trained "
+                f"for {self.placements.vcpus}"
+            )
+        i, j = self.model.input_pair
+
+        # Step 4a: run in the two input placements, a couple of seconds
+        # each, without interrupting the workload.
+        self.host.deploy(container, self.placements[i])
+        obs_i = self.host.measure_ipc(container, duration_s=self.probe_duration_s)
+        self.host.migrate(container, self.placements[j])
+        obs_j = self.host.measure_ipc(container, duration_s=self.probe_duration_s)
+
+        # Step 4b: predict the full vector.
+        vector = self.model.predict(obs_i, obs_j)
+
+        # Step 4c: choose.
+        if goal_fraction is not None:
+            meeting = [
+                (placement, predicted)
+                for placement, predicted in zip(self.placements, vector)
+                if predicted >= goal_fraction
+            ]
+            if meeting:
+                chosen, predicted = min(
+                    meeting, key=lambda c: (c[0].n_nodes, -c[1])
+                )
+            else:
+                index = int(np.argmax(vector))
+                chosen, predicted = self.placements[index], float(vector[index])
+        else:
+            index = int(np.argmax(vector))
+            chosen, predicted = self.placements[index], float(vector[index])
+
+        # Step 4d: migrate to the final placement.
+        self.host.migrate(container, chosen)
+        advice = self.planner.advise(container.profile, probe_migrations=2)
+
+        return SchedulerReport(
+            container=container.name,
+            probe_observations=(obs_i, obs_j),
+            predicted_vector=vector,
+            chosen_placement=chosen,
+            chosen_id=self.placements.id_of(chosen),
+            goal_fraction=goal_fraction,
+            predicted_relative=float(predicted),
+            migration=advice,
+            probe_seconds=2 * self.probe_duration_s
+            + advice.results[advice.recommended if advice.recommended != "offline" else "fast"].seconds,
+        )

@@ -1,0 +1,50 @@
+"""Container memory description for the migration cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfsim.workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class ContainerMemory:
+    """What a container has resident when a migration starts.
+
+    Table 2's "Memory (GB)" column "includes processes' memory and the page
+    cache associated with the container" — both matter, because the paper's
+    fast migrator moves the page cache while default Linux leaves it behind
+    (and then pays remote-access penalties or re-reads from disk).
+    """
+
+    anonymous_gb: float
+    page_cache_gb: float
+    n_tasks: int
+    n_processes: int
+
+    def __post_init__(self) -> None:
+        if self.anonymous_gb < 0 or self.page_cache_gb < 0:
+            raise ValueError("memory sizes must be non-negative")
+        if self.anonymous_gb + self.page_cache_gb <= 0:
+            raise ValueError("container must have some memory")
+        if self.n_tasks < 1:
+            raise ValueError("n_tasks must be >= 1")
+        if not 1 <= self.n_processes <= self.n_tasks:
+            raise ValueError("n_processes must be in [1, n_tasks]")
+
+    @classmethod
+    def from_profile(cls, profile: WorkloadProfile) -> "ContainerMemory":
+        return cls(
+            anonymous_gb=profile.anonymous_gb,
+            page_cache_gb=profile.page_cache_gb,
+            n_tasks=profile.n_tasks,
+            n_processes=profile.n_processes,
+        )
+
+    @property
+    def total_gb(self) -> float:
+        return self.anonymous_gb + self.page_cache_gb
+
+    @property
+    def page_cache_fraction(self) -> float:
+        return self.page_cache_gb / self.total_gb

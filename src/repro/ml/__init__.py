@@ -1,0 +1,50 @@
+"""From-scratch machine-learning substrate.
+
+The paper uses a multi-output Random Forest regressor (Section 5), k-means
+clustering with silhouette-based model selection (Figure 3), and Sequential
+Forward Selection for the HPE baseline's features.  scikit-learn is not
+available in this environment, so this subpackage implements the needed
+algorithms on plain numpy:
+
+* :mod:`repro.ml.tree` — multi-output CART regression trees;
+* :mod:`repro.ml.forest` — bagged random forests over those trees;
+* :mod:`repro.ml.kmeans` — k-means++ with Lloyd iterations and the
+  silhouette coefficient;
+* :mod:`repro.ml.selection` — sequential forward feature selection;
+* :mod:`repro.ml.validation` — k-fold and leave-one-group-out splitters;
+* :mod:`repro.ml.metrics` — regression error metrics.
+
+Everything is deterministic given a ``random_state``.
+"""
+
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.kmeans import KMeans, silhouette_score, choose_k_by_silhouette
+from repro.ml.selection import sequential_forward_selection
+from repro.ml.validation import KFold, LeaveOneGroupOut, cross_val_score
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    root_mean_squared_error,
+    r2_score,
+    max_error,
+)
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "KMeans",
+    "silhouette_score",
+    "choose_k_by_silhouette",
+    "sequential_forward_selection",
+    "KFold",
+    "LeaveOneGroupOut",
+    "cross_val_score",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "r2_score",
+    "max_error",
+]

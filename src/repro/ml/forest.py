@@ -1,0 +1,107 @@
+"""Bagged random forests over multi-output CART trees.
+
+"RF is a machine learning technique known for its ability to learn
+non-linear functions with very little or no tuning" (Section 5) — which is
+exactly the property the reproduction relies on: the same default
+configuration trains the performance model on both machines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression forest with multi-output support.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf, max_features:
+        Passed to each :class:`DecisionTreeRegressor`.
+    bootstrap:
+        Draw a bootstrap sample per tree (True) or train every tree on the
+        full data (False; only the feature subsampling differs then).
+    random_state:
+        Seed; each tree derives an independent stream from it.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.trees_: List[DecisionTreeRegressor] = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError(
+                f"X and y disagree on sample count: {len(X)} vs {len(y)}"
+            )
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        rng = np.random.default_rng(self.random_state)
+        n = len(X)
+        self.trees_ = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            if self.bootstrap:
+                indices = rng.integers(0, n, size=n)
+            else:
+                indices = np.arange(n)
+            tree.fit(X[indices], y[indices])
+            assert tree.feature_importances_ is not None
+            importances += tree.feature_importances_
+            self.trees_.append(tree)
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("predict() called before fit()")
+        predictions = [tree.predict(X) for tree in self.trees_]
+        return np.mean(predictions, axis=0)
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample standard deviation across trees — a cheap uncertainty
+        signal the policies can use to hedge decisions."""
+        if not self.trees_:
+            raise RuntimeError("predict_std() called before fit()")
+        predictions = np.stack([tree.predict(X) for tree in self.trees_])
+        return predictions.std(axis=0)

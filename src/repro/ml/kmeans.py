@@ -1,0 +1,202 @@
+"""k-means clustering with k-means++ seeding and the silhouette coefficient.
+
+The paper clusters workloads by the shape of their performance vectors
+(Figure 3) and picks the number of clusters k that maximizes the average
+silhouette coefficient — "the standard practice in the field" (Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization and restarts.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters k.
+    n_init:
+        Independent restarts; the best inertia wins.
+    max_iter:
+        Lloyd iterations per restart.
+    tol:
+        Convergence threshold on centroid movement.
+    random_state:
+        Seed.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        random_state: int | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if n_init < 1 or max_iter < 1:
+            raise ValueError("n_init and max_iter must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+
+    # ------------------------------------------------------------------
+
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread the initial centers out."""
+        n = len(X)
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[rng.integers(n)]
+        closest_sq = ((X - centers[0]) ** 2).sum(axis=1)
+        for i in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 1e-18:
+                # All remaining points coincide with a center; any choice works.
+                centers[i] = X[rng.integers(n)]
+                continue
+            probabilities = closest_sq / total
+            centers[i] = X[rng.choice(n, p=probabilities)]
+            closest_sq = np.minimum(
+                closest_sq, ((X - centers[i]) ** 2).sum(axis=1)
+            )
+        return centers
+
+    def _lloyd(
+        self, X: np.ndarray, centers: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        for _ in range(self.max_iter):
+            distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members) > 0:
+                    new_centers[k] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    farthest = distances.min(axis=1).argmax()
+                    new_centers[k] = X[farthest]
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(len(X)), labels].sum())
+        return centers, labels, inertia
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        if len(X) < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} samples, "
+                f"got {len(X)}"
+            )
+        rng = np.random.default_rng(self.random_state)
+        best: Tuple[np.ndarray, np.ndarray, float] | None = None
+        for _ in range(self.n_init):
+            centers = self._init_centers(X, rng)
+            centers, labels, inertia = self._lloyd(X, centers, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("predict() called before fit()")
+        X = np.asarray(X, dtype=float)
+        distances = (
+            (X[:, None, :] - self.cluster_centers_[None, :, :]) ** 2
+        ).sum(axis=2)
+        return distances.argmin(axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_
+
+
+def silhouette_score(X: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all samples (Rousseeuw 1987).
+
+    For each sample, ``a`` is the mean distance to its own cluster's other
+    members and ``b`` the smallest mean distance to another cluster; the
+    coefficient is ``(b - a) / max(a, b)``.  Samples in singleton clusters
+    score 0 by convention.
+    """
+    X = np.asarray(X, dtype=float)
+    labels = np.asarray(labels)
+    if len(X) != len(labels):
+        raise ValueError("X and labels disagree on sample count")
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+    if len(unique) >= len(X):
+        raise ValueError("silhouette requires n_clusters < n_samples")
+
+    distances = np.sqrt(
+        ((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2)
+    )
+    scores = np.zeros(len(X))
+    for i in range(len(X)):
+        own = labels == labels[i]
+        n_own = own.sum()
+        if n_own <= 1:
+            scores[i] = 0.0
+            continue
+        a = distances[i, own].sum() / (n_own - 1)
+        b = np.inf
+        for cluster in unique:
+            if cluster == labels[i]:
+                continue
+            members = labels == cluster
+            b = min(b, distances[i, members].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def choose_k_by_silhouette(
+    X: np.ndarray,
+    *,
+    k_min: int = 2,
+    k_max: int = 10,
+    random_state: int | None = None,
+) -> Tuple[int, dict]:
+    """Pick k maximizing the average silhouette coefficient (the paper's
+    model-selection rule for the behaviour categories).
+
+    Returns the chosen k and the per-k silhouette table.
+    """
+    X = np.asarray(X, dtype=float)
+    if k_min < 2:
+        raise ValueError("k_min must be >= 2")
+    k_max = min(k_max, len(X) - 1)
+    if k_max < k_min:
+        raise ValueError("not enough samples for the requested k range")
+    table: dict = {}
+    for k in range(k_min, k_max + 1):
+        model = KMeans(k, random_state=random_state)
+        labels = model.fit_predict(X)
+        if len(np.unique(labels)) < 2:
+            continue
+        table[k] = silhouette_score(X, labels)
+    if not table:
+        raise ValueError("no k produced a valid clustering")
+    best_k = max(table, key=lambda k: table[k])
+    return best_k, table

@@ -1,0 +1,60 @@
+"""Regression error metrics used across evaluation and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def mean_absolute_percentage_error(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> float:
+    """MAPE in percent.  This is the paper's headline accuracy metric
+    ("within 4.4% of actual on average").  Zero targets are rejected."""
+    y_true, y_pred = _check(y_true, y_pred)
+    if np.any(y_true == 0):
+        raise ValueError("MAPE is undefined for zero targets")
+    return float((np.abs(y_true - y_pred) / np.abs(y_true)).mean() * 100.0)
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(((y_true - y_pred) ** 2).mean())
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def max_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.abs(y_true - y_pred).max())
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; multi-output values are averaged."""
+    y_true, y_pred = _check(y_true, y_pred)
+    if y_true.ndim == 1:
+        y_true = y_true[:, None]
+        y_pred = y_pred[:, None]
+    ss_res = ((y_true - y_pred) ** 2).sum(axis=0)
+    ss_tot = ((y_true - y_true.mean(axis=0)) ** 2).sum(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_output = np.where(ss_tot > 0, 1.0 - ss_res / ss_tot, 0.0)
+    return float(per_output.mean())

@@ -1,0 +1,73 @@
+"""Sequential Forward Selection (SFS).
+
+The paper's HPE baseline starts from dozens of plausible hardware events and
+uses SFS (Draper & Smith 1966; John, Kohavi & Pfleger 1994) to pick the most
+predictive subset: starting from the empty set, repeatedly add the feature
+whose addition maximizes the cross-validated score, until the requested
+feature budget is reached or no addition improves the score.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def sequential_forward_selection(
+    n_features: int,
+    evaluate: Callable[[Sequence[int]], float],
+    *,
+    max_features: int | None = None,
+    min_improvement: float = 0.0,
+) -> Tuple[List[int], List[float]]:
+    """Greedy forward feature selection.
+
+    Parameters
+    ----------
+    n_features:
+        Total number of candidate features (indexed 0..n-1).
+    evaluate:
+        Maps a feature-index subset to a score (higher is better) — typically
+        a cross-validated model score.
+    max_features:
+        Stop after selecting this many features (default: no limit other
+        than ``min_improvement``).
+    min_improvement:
+        Stop when the best addition improves the score by less than this.
+
+    Returns
+    -------
+    (selected, history):
+        Selected feature indices in the order they were added, and the score
+        after each addition.
+    """
+    if n_features < 1:
+        raise ValueError("n_features must be >= 1")
+    if max_features is None:
+        max_features = n_features
+    if max_features < 1:
+        raise ValueError("max_features must be >= 1")
+
+    selected: List[int] = []
+    history: List[float] = []
+    current_score = -np.inf
+    remaining = set(range(n_features))
+
+    while remaining and len(selected) < max_features:
+        best_feature = None
+        best_score = -np.inf
+        for feature in sorted(remaining):
+            score = evaluate(selected + [feature])
+            if score > best_score:
+                best_score = score
+                best_feature = feature
+        assert best_feature is not None
+        if history and best_score - current_score < min_improvement:
+            break
+        selected.append(best_feature)
+        remaining.discard(best_feature)
+        history.append(best_score)
+        current_score = best_score
+
+    return selected, history

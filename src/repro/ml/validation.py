@@ -1,0 +1,92 @@
+"""Cross-validation splitters.
+
+The paper's evaluation is *per-application cross-validated* (Section 6):
+when predicting a workload, no run of that workload — under any
+configuration — may appear in the training set.  That is leave-one-group-out
+CV with the workload name as the group, provided here alongside plain
+k-fold.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+class KFold:
+    """Standard k-fold splitter over sample indices."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        *,
+        shuffle: bool = False,
+        random_state: int | None = None,
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+
+class LeaveOneGroupOut:
+    """Per-group splitter: each distinct group becomes one test fold."""
+
+    def split(
+        self, groups: Sequence
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, object]]:
+        groups_arr = np.asarray(groups)
+        unique = list(dict.fromkeys(groups_arr.tolist()))  # stable order
+        if len(unique) < 2:
+            raise ValueError("need at least 2 distinct groups")
+        indices = np.arange(len(groups_arr))
+        for group in unique:
+            mask = groups_arr == group
+            yield indices[~mask], indices[mask], group
+
+
+def cross_val_score(
+    fit_predict: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    scorer: Callable[[np.ndarray, np.ndarray], float],
+    n_splits: int = 5,
+    shuffle: bool = True,
+    random_state: int | None = 0,
+) -> List[float]:
+    """k-fold scores for a model expressed as a fit-then-predict callable.
+
+    ``fit_predict(X_train, y_train, X_test)`` must return predictions for
+    ``X_test``; ``scorer(y_true, y_pred)`` maps them to a score.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(X) != len(y):
+        raise ValueError("X and y disagree on sample count")
+    scores: List[float] = []
+    splitter = KFold(n_splits, shuffle=shuffle, random_state=random_state)
+    for train, test in splitter.split(len(X)):
+        predictions = fit_predict(X[train], y[train], X[test])
+        scores.append(scorer(y[test], predictions))
+    return scores

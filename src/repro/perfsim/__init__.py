@@ -1,0 +1,46 @@
+"""The simulated testbed.
+
+Substitution note (DESIGN.md section 2): the paper measures real
+applications (NAS, Parsec, Metis, BLAST, gcc, Spark, Postgres, WiredTiger)
+in lxc containers on two physical machines.  This subpackage replaces that
+testbed with an analytical performance simulator:
+
+* a :class:`~repro.perfsim.workload.WorkloadProfile` captures the
+  characteristics that drive placement sensitivity (working set, memory
+  bandwidth demand, communication intensity and latency sensitivity, SMT
+  affinity, cooperative sharing);
+* :class:`~repro.perfsim.simulator.PerformanceSimulator` maps
+  (profile, placement) to a throughput by composing the effect models in
+  :mod:`repro.perfsim.effects` — SMT/module sharing, L3 capacity, DRAM
+  bandwidth saturation, interconnect saturation, and communication latency —
+  plus deterministic measurement noise;
+* :mod:`repro.perfsim.hpe` synthesizes hardware performance events with the
+  crucial property the paper observed on real PMUs: events measured in a
+  single placement cannot identify latency sensitivity or cooperative
+  sharing, which is why the HPE model underperforms;
+* :mod:`repro.perfsim.library` ships calibrated profiles for the paper's 18
+  workloads; :mod:`repro.perfsim.generator` samples random workloads around
+  six behavioural archetypes for training corpora.
+"""
+
+from repro.perfsim.workload import WorkloadProfile
+from repro.perfsim.calibration import MachineCalibration, calibration_for
+from repro.perfsim.simulator import PerformanceSimulator, ContainerRun
+from repro.perfsim.hpe import HpeDefinition, HpeMonitor, hpe_names_for
+from repro.perfsim.library import paper_workloads, workload_by_name
+from repro.perfsim.generator import WorkloadGenerator, ARCHETYPES
+
+__all__ = [
+    "WorkloadProfile",
+    "MachineCalibration",
+    "calibration_for",
+    "PerformanceSimulator",
+    "ContainerRun",
+    "HpeDefinition",
+    "HpeMonitor",
+    "hpe_names_for",
+    "paper_workloads",
+    "workload_by_name",
+    "WorkloadGenerator",
+    "ARCHETYPES",
+]

@@ -1,0 +1,71 @@
+"""Per-machine simulator calibration constants.
+
+These are hardware characteristics that the topology model does not carry
+because they describe dynamic behaviour rather than structure: how efficient
+SMT/CMT sharing is, and how sharply bandwidth saturation bites.  They are
+keyed by machine name so the presets get values consistent with what the
+paper reports (AMD's CMT modules share the FP units and front-end and hurt
+more; Intel's Hyper-Threading is comparatively benign).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.topology.machine import MachineTopology
+
+
+@dataclass(frozen=True)
+class MachineCalibration:
+    """Dynamic-behaviour constants for one machine.
+
+    smt_efficiency:
+        Per-thread throughput when an L2 group is fully shared, relative to
+        running alone (0.72 means two threads on a module each run at 72%).
+    saturation_sharpness:
+        Exponent of the smooth min() used for bandwidth saturation; higher
+        values approximate a hard knee.
+    l2_pressure_mb:
+        Working-set-per-thread size (MB) at which sharing an L2 starts to
+        add capacity misses on top of the pipeline penalty.
+    """
+
+    smt_efficiency: float = 0.80
+    saturation_sharpness: float = 4.0
+    l2_pressure_mb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.smt_efficiency <= 1.5:
+            raise ValueError("smt_efficiency out of plausible range")
+        if self.saturation_sharpness <= 0:
+            raise ValueError("saturation_sharpness must be positive")
+        if self.l2_pressure_mb <= 0:
+            raise ValueError("l2_pressure_mb must be positive")
+
+
+#: Calibrations for the shipped presets.
+_CALIBRATIONS: Dict[str, MachineCalibration] = {
+    # Bulldozer CMT: shared front-end and FP units between the two cores of
+    # a module — sharing costs real throughput.
+    "amd-opteron-6272": MachineCalibration(
+        smt_efficiency=0.74, saturation_sharpness=4.0, l2_pressure_mb=1.0
+    ),
+    # Haswell SMT: two hyperthreads fill each other's stalls; milder.
+    "intel-xeon-e7-4830-v3": MachineCalibration(
+        smt_efficiency=0.86, saturation_sharpness=4.0, l2_pressure_mb=0.125
+    ),
+    "amd-epyc-zen": MachineCalibration(
+        smt_efficiency=0.88, saturation_sharpness=4.0, l2_pressure_mb=0.25
+    ),
+    "intel-haswell-cod": MachineCalibration(
+        smt_efficiency=0.86, saturation_sharpness=4.0, l2_pressure_mb=0.125
+    ),
+}
+
+_DEFAULT = MachineCalibration()
+
+
+def calibration_for(machine: MachineTopology) -> MachineCalibration:
+    """The calibration for a machine, by name; generic defaults otherwise."""
+    return _CALIBRATIONS.get(machine.name, _DEFAULT)

@@ -1,0 +1,152 @@
+"""Individual placement-effect models.
+
+Each function captures one mechanism through which placement changes
+performance; :class:`repro.perfsim.simulator.PerformanceSimulator` composes
+them multiplicatively.  Keeping them separate makes each mechanism unit-
+testable and lets the ablation benchmarks switch mechanisms off.
+
+All factors are dimensionless multipliers on ideal throughput, 1.0 meaning
+"no effect".  The SMT factor may exceed 1.0 for cooperatively sharing
+workloads (the paper's kmeans preferred SMT).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bounds on per-thread efficiency under full sharing.  The upper bound
+#: allows cooperative workloads to *prefer* SMT (the paper's kmeans), the
+#: lower bound keeps pathological inputs sane.
+_MIN_SMT_EFFICIENCY = 0.30
+_MAX_SMT_EFFICIENCY = 1.15
+
+#: How much of the [-1, 1] smt_affinity range shifts the machine's baseline
+#: SMT efficiency (additive).
+_SMT_AFFINITY_WEIGHT = 0.45
+
+
+def smt_factor(
+    l2_share: int,
+    threads_per_l2: int,
+    machine_smt_efficiency: float,
+    smt_affinity: float,
+) -> float:
+    """Throughput multiplier for sharing L2 groups (SMT contexts or CMT
+    modules).
+
+    ``l2_share`` is how many of an L2 group's ``threads_per_l2`` hardware
+    threads the placement uses.  The machine's baseline efficiency is
+    adjusted by the workload's affinity and interpolated linearly with the
+    sharing degree.
+    """
+    if threads_per_l2 <= 1 or l2_share <= 1:
+        return 1.0
+    degree = (l2_share - 1) / (threads_per_l2 - 1)
+    efficiency = machine_smt_efficiency + _SMT_AFFINITY_WEIGHT * smt_affinity
+    efficiency = min(max(efficiency, _MIN_SMT_EFFICIENCY), _MAX_SMT_EFFICIENCY)
+    return 1.0 + degree * (efficiency - 1.0)
+
+
+def effective_working_set_per_l3(
+    working_set_mb: float, shared_fraction: float, n_l3: int
+) -> float:
+    """Working set competing for one L3 cache.
+
+    Thread-private data divides across the caches; data shared by all
+    threads is replicated into *every* cache the workload spans.  Highly
+    shared workloads therefore gain nothing from more caches — the
+    cooperative-sharing effect of Section 1.
+    """
+    if working_set_mb <= 0:
+        raise ValueError("working_set_mb must be positive")
+    if n_l3 < 1:
+        raise ValueError("n_l3 must be >= 1")
+    private = working_set_mb * (1.0 - shared_fraction)
+    shared = working_set_mb * shared_fraction
+    return shared + private / n_l3
+
+
+def miss_fraction(working_set_per_l3_mb: float, l3_size_mb: float) -> float:
+    """Fraction of accesses missing an L3 of the given size.
+
+    A uniform-access-over-working-set model: an LRU cache of size S keeps S
+    of the W hot megabytes resident, so misses are ``max(0, 1 - S/W)``.
+    """
+    if l3_size_mb <= 0:
+        raise ValueError("l3_size_mb must be positive")
+    if working_set_per_l3_mb <= 0:
+        raise ValueError("working_set_per_l3_mb must be positive")
+    return max(0.0, 1.0 - l3_size_mb / working_set_per_l3_mb)
+
+
+def cache_factor(sensitivity: float, misses: float) -> float:
+    """Throughput multiplier for L3 capacity misses."""
+    if not 0.0 <= sensitivity <= 1.0:
+        raise ValueError("sensitivity must be in [0, 1]")
+    if not 0.0 <= misses <= 1.0:
+        raise ValueError("misses must be in [0, 1]")
+    return 1.0 - sensitivity * misses
+
+
+def saturation_factor(
+    demand: float, supply: float, sharpness: float = 4.0
+) -> float:
+    """Smooth bandwidth-saturation multiplier.
+
+    Behaves like ``min(1, supply/demand)`` with a rounded knee:
+    ``(1 + u^s)^(-1/s)`` where ``u = demand / supply``.  At u=0 the factor
+    is 1; at u>>1 it approaches ``supply/demand`` (bandwidth-bound).
+    """
+    if demand < 0 or supply < 0:
+        raise ValueError("demand and supply must be non-negative")
+    if sharpness <= 0:
+        raise ValueError("sharpness must be positive")
+    if demand == 0:
+        return 1.0
+    if supply == 0:
+        return 0.0
+    utilization = demand / supply
+    return float((1.0 + utilization**sharpness) ** (-1.0 / sharpness))
+
+
+def comm_latency_factor(
+    comm_intensity: float,
+    latency_sensitivity: float,
+    mean_latency_ns: float,
+    local_latency_ns: float,
+) -> float:
+    """Throughput multiplier for inter-thread communication latency.
+
+    The placement's mean pairwise latency, relative to the all-local case,
+    stretches the communication portion of the critical path.  Placements
+    confined to one node communicate through the shared L3 and see factor 1.
+    """
+    for name, value in (
+        ("comm_intensity", comm_intensity),
+        ("latency_sensitivity", latency_sensitivity),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1]")
+    if local_latency_ns <= 0 or mean_latency_ns < local_latency_ns - 1e-9:
+        raise ValueError("latencies must be positive with mean >= local")
+    excess = mean_latency_ns / local_latency_ns - 1.0
+    return 1.0 / (1.0 + comm_intensity * latency_sensitivity * excess)
+
+
+def l2_capacity_factor(
+    working_set_per_vcpu_mb: float,
+    l2_share: int,
+    l2_size_mb: float,
+    pressure_mb: float,
+) -> float:
+    """Small additional penalty when SMT sharing also splits a hot L2.
+
+    Only bites when each thread's slice of the working set already presses
+    on the (shared) L2; modelled as up to 6% per extra sharer.
+    """
+    if l2_share <= 1:
+        return 1.0
+    if pressure_mb <= 0:
+        raise ValueError("pressure_mb must be positive")
+    pressure = min(1.0, working_set_per_vcpu_mb / (l2_size_mb + pressure_mb))
+    return 1.0 - 0.06 * (l2_share - 1) * pressure

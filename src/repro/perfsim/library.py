@@ -1,0 +1,396 @@
+"""Calibrated profiles for the paper's 18 evaluation workloads.
+
+The paper draws its workloads from NAS, Parsec, Metis, BLAST, the Linux
+kernel gcc build, Spark, TPC-C/TPC-H on Postgres, and WiredTiger (Section
+6).  We obviously cannot run those binaries; each profile below encodes the
+qualitative behaviour reported in the literature (and in the paper itself
+where it comments on a workload), plus the *quantitative* memory columns of
+Table 2:
+
+* ``memory_gb`` is Table 2's "Memory (GB)" column verbatim;
+* ``page_cache_fraction`` uses the paper's stated shares where given (93%
+  for BLAST, 75% for TPC-C, 62% for TPC-H) and literature-plausible values
+  elsewhere;
+* ``n_tasks`` drives the default-Linux migration cost (TPC-C's many server
+  processes and Spark's JVM thread army are called out in Section 7).
+
+Behavioural calibration targets (checked by tests and benchmarks):
+
+* **WTbtree** reproduces Figure 1: single-node placement wins on the Intel
+  machine; on AMD, 4 nodes beat 2 only without SMT and 8 nodes add nothing.
+* **kmeans** is the only workload preferring SMT on AMD (Section 6).
+* **streamcluster** is the extreme bandwidth-bound case (its AMD panel in
+  Figure 4 spans 0.2-1.0).
+* **swaptions** is placement-insensitive (tiny footprint, no communication).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.perfsim.workload import WorkloadProfile
+
+_PROFILES: List[WorkloadProfile] = [
+    WorkloadProfile(
+        name="BLAST",
+        ipc_base=14.0,
+        working_set_mb=120.0,
+        shared_fraction=0.30,  # shared genome index
+        cache_sensitivity=0.35,
+        membw_per_vcpu=600.0,
+        numa_locality=0.30,
+        comm_intensity=0.05,
+        comm_latency_sensitivity=0.10,
+        comm_bytes_per_vcpu=10.0,
+        smt_affinity=-0.20,
+        phase_noise=0.012,
+        memory_gb=18.5,
+        page_cache_fraction=0.93,  # paper: 93% of migration is page cache
+        n_tasks=20,
+        n_processes=1,
+        metric_name="queries/s",
+    ),
+    WorkloadProfile(
+        name="canneal",
+        ipc_base=90.0,
+        working_set_mb=420.0,  # pointer-chasing over a large netlist
+        shared_fraction=0.20,
+        cache_sensitivity=0.70,
+        membw_per_vcpu=700.0,
+        numa_locality=0.10,
+        comm_intensity=0.15,
+        comm_latency_sensitivity=0.65,
+        comm_bytes_per_vcpu=30.0,
+        smt_affinity=-0.10,
+        phase_noise=0.015,
+        memory_gb=1.1,
+        page_cache_fraction=0.10,
+        n_tasks=17,
+        n_processes=1,
+        metric_name="moves/s",
+    ),
+    WorkloadProfile(
+        name="fluidanimate",
+        ipc_base=55.0,
+        working_set_mb=60.0,
+        shared_fraction=0.35,  # neighbour-cell exchange
+        cache_sensitivity=0.40,
+        membw_per_vcpu=350.0,
+        numa_locality=0.25,
+        comm_intensity=0.60,
+        comm_latency_sensitivity=0.50,
+        comm_bytes_per_vcpu=90.0,
+        smt_affinity=-0.30,
+        phase_noise=0.012,
+        memory_gb=0.7,
+        page_cache_fraction=0.10,
+        n_tasks=17,
+        n_processes=1,
+        metric_name="frames/s",
+    ),
+    WorkloadProfile(
+        name="freqmine",
+        ipc_base=70.0,
+        working_set_mb=30.0,
+        shared_fraction=0.40,  # shared FP-tree
+        cache_sensitivity=0.60,
+        membw_per_vcpu=250.0,
+        numa_locality=0.25,
+        comm_intensity=0.20,
+        comm_latency_sensitivity=0.25,
+        comm_bytes_per_vcpu=25.0,
+        smt_affinity=-0.20,
+        phase_noise=0.012,
+        memory_gb=1.3,
+        page_cache_fraction=0.15,
+        n_tasks=17,
+        n_processes=1,
+        metric_name="transactions/s",
+    ),
+    WorkloadProfile(
+        name="gcc",
+        ipc_base=3.0,
+        working_set_mb=100.0,
+        shared_fraction=0.05,  # independent compiler processes
+        cache_sensitivity=0.45,
+        membw_per_vcpu=450.0,
+        numa_locality=0.40,
+        comm_intensity=0.05,
+        comm_latency_sensitivity=0.10,
+        comm_bytes_per_vcpu=5.0,
+        smt_affinity=-0.15,
+        phase_noise=0.015,
+        memory_gb=1.4,
+        page_cache_fraction=0.50,  # sources and objects in page cache
+        n_tasks=34,
+        n_processes=2,
+        metric_name="files/s",
+    ),
+    WorkloadProfile(
+        name="kmeans",
+        ipc_base=25.0,
+        working_set_mb=140.0,
+        shared_fraction=0.55,  # all threads scan the shared centroid set
+        cache_sensitivity=0.40,
+        membw_per_vcpu=500.0,
+        numa_locality=0.20,
+        comm_intensity=0.15,
+        comm_latency_sensitivity=0.15,
+        comm_bytes_per_vcpu=20.0,
+        smt_affinity=0.90,  # the paper's only SMT-preferring workload
+        phase_noise=0.012,
+        memory_gb=7.2,
+        page_cache_fraction=0.65,
+        n_tasks=17,
+        n_processes=1,
+        metric_name="iterations/s",
+    ),
+    WorkloadProfile(
+        name="pca",
+        ipc_base=8.0,
+        working_set_mb=300.0,
+        shared_fraction=0.10,
+        cache_sensitivity=0.50,
+        membw_per_vcpu=1800.0,  # streaming matrix passes
+        numa_locality=0.15,
+        comm_intensity=0.15,
+        comm_latency_sensitivity=0.20,
+        comm_bytes_per_vcpu=40.0,
+        smt_affinity=-0.35,
+        phase_noise=0.012,
+        memory_gb=12.0,
+        page_cache_fraction=0.7,
+        n_tasks=17,
+        n_processes=1,
+        metric_name="matrices/s",
+    ),
+    WorkloadProfile(
+        name="postgres-tpch",
+        ipc_base=0.8,
+        working_set_mb=500.0,
+        shared_fraction=0.15,
+        cache_sensitivity=0.55,
+        membw_per_vcpu=1500.0,  # scan-dominated analytics
+        numa_locality=0.20,
+        comm_intensity=0.10,
+        comm_latency_sensitivity=0.30,
+        comm_bytes_per_vcpu=30.0,
+        smt_affinity=-0.25,
+        phase_noise=0.015,
+        memory_gb=26.8,
+        page_cache_fraction=0.62,  # paper: 62% of migration is page cache
+        n_tasks=90,
+        n_processes=48,
+        metric_name="queries/h",
+    ),
+    WorkloadProfile(
+        name="postgres-tpcc",
+        ipc_base=60.0,
+        working_set_mb=150.0,
+        shared_fraction=0.35,  # shared buffer pool
+        cache_sensitivity=0.50,
+        membw_per_vcpu=500.0,
+        numa_locality=0.20,
+        comm_intensity=0.45,
+        comm_latency_sensitivity=0.60,  # lock-heavy OLTP
+        comm_bytes_per_vcpu=60.0,
+        smt_affinity=-0.10,
+        phase_noise=0.018,
+        memory_gb=37.7,
+        page_cache_fraction=0.75,  # paper: 75% of migration is page cache
+        n_tasks=240,  # many server processes; Section 7's cpuset pathology
+        n_processes=220,
+        metric_name="tpmC",
+    ),
+    WorkloadProfile(
+        name="spark-cc",
+        ipc_base=4.0,
+        working_set_mb=600.0,
+        shared_fraction=0.20,
+        cache_sensitivity=0.50,
+        membw_per_vcpu=1100.0,
+        numa_locality=0.15,
+        comm_intensity=0.50,
+        comm_latency_sensitivity=0.40,
+        comm_bytes_per_vcpu=120.0,
+        smt_affinity=-0.20,
+        phase_noise=0.02,
+        memory_gb=17.0,
+        page_cache_fraction=0.25,
+        n_tasks=400,  # JVM thread army
+        n_processes=1,
+        metric_name="iterations/s",
+    ),
+    WorkloadProfile(
+        name="spark-pr-lj",
+        ipc_base=3.5,
+        working_set_mb=700.0,
+        shared_fraction=0.20,
+        cache_sensitivity=0.50,
+        membw_per_vcpu=1200.0,
+        numa_locality=0.15,
+        comm_intensity=0.55,
+        comm_latency_sensitivity=0.35,
+        comm_bytes_per_vcpu=140.0,
+        smt_affinity=-0.20,
+        phase_noise=0.02,
+        memory_gb=17.1,
+        page_cache_fraction=0.25,
+        n_tasks=400,
+        n_processes=1,
+        metric_name="iterations/s",
+    ),
+    WorkloadProfile(
+        name="streamcluster",
+        ipc_base=40.0,
+        working_set_mb=90.0,
+        shared_fraction=0.05,
+        cache_sensitivity=0.50,
+        membw_per_vcpu=2600.0,  # the extreme bandwidth-bound case
+        numa_locality=0.10,
+        comm_intensity=0.25,
+        comm_latency_sensitivity=0.25,
+        comm_bytes_per_vcpu=60.0,
+        smt_affinity=-0.40,
+        phase_noise=0.015,
+        memory_gb=0.1,
+        page_cache_fraction=0.05,
+        n_tasks=17,
+        n_processes=1,
+        metric_name="points/s",
+    ),
+    WorkloadProfile(
+        name="swaptions",
+        ipc_base=110.0,
+        working_set_mb=2.0,  # tiny per-thread state
+        shared_fraction=0.10,
+        cache_sensitivity=0.05,
+        membw_per_vcpu=20.0,
+        numa_locality=0.50,
+        comm_intensity=0.02,
+        comm_latency_sensitivity=0.05,
+        comm_bytes_per_vcpu=2.0,
+        smt_affinity=-0.10,
+        phase_noise=0.01,
+        memory_gb=0.01,
+        page_cache_fraction=0.05,
+        n_tasks=17,
+        n_processes=1,
+        metric_name="swaptions/s",
+    ),
+    WorkloadProfile(
+        name="ft.C",
+        ipc_base=6.0,
+        working_set_mb=800.0,
+        shared_fraction=0.05,
+        cache_sensitivity=0.45,
+        membw_per_vcpu=1600.0,
+        numa_locality=0.10,
+        comm_intensity=0.70,  # all-to-all transpose
+        comm_latency_sensitivity=0.20,  # bandwidth-bound, not latency-bound
+        comm_bytes_per_vcpu=400.0,
+        smt_affinity=-0.45,
+        phase_noise=0.015,
+        memory_gb=5.0,
+        page_cache_fraction=0.05,
+        n_tasks=17,
+        n_processes=1,
+        metric_name="Mop/s",
+    ),
+    WorkloadProfile(
+        name="dc.B",
+        ipc_base=2.0,
+        working_set_mb=900.0,
+        shared_fraction=0.10,
+        cache_sensitivity=0.50,
+        membw_per_vcpu=900.0,
+        numa_locality=0.20,
+        comm_intensity=0.20,
+        comm_latency_sensitivity=0.30,
+        comm_bytes_per_vcpu=50.0,
+        smt_affinity=-0.20,
+        phase_noise=0.018,
+        memory_gb=27.3,
+        page_cache_fraction=0.60,  # data-cube spill files
+        n_tasks=64,
+        n_processes=1,
+        metric_name="tuples/s",
+    ),
+    WorkloadProfile(
+        name="wc",
+        ipc_base=9.0,
+        working_set_mb=250.0,
+        shared_fraction=0.15,
+        cache_sensitivity=0.45,
+        membw_per_vcpu=1000.0,
+        numa_locality=0.25,
+        comm_intensity=0.30,
+        comm_latency_sensitivity=0.25,
+        comm_bytes_per_vcpu=80.0,
+        smt_affinity=-0.20,
+        phase_noise=0.015,
+        memory_gb=15.4,
+        page_cache_fraction=0.70,  # map-reduce over cached input files
+        n_tasks=17,
+        n_processes=1,
+        metric_name="MB/s",
+    ),
+    WorkloadProfile(
+        name="wr",
+        ipc_base=8.0,
+        working_set_mb=350.0,
+        shared_fraction=0.15,
+        cache_sensitivity=0.45,
+        membw_per_vcpu=1100.0,
+        numa_locality=0.25,
+        comm_intensity=0.35,
+        comm_latency_sensitivity=0.30,
+        comm_bytes_per_vcpu=90.0,
+        smt_affinity=-0.20,
+        phase_noise=0.015,
+        memory_gb=17.1,
+        page_cache_fraction=0.70,
+        n_tasks=17,
+        n_processes=1,
+        metric_name="MB/s",
+    ),
+    WorkloadProfile(
+        name="WTbtree",
+        ipc_base=120_000.0,
+        working_set_mb=48.0,  # hot B-tree levels
+        shared_fraction=0.55,  # upper tree levels shared by all threads
+        cache_sensitivity=0.20,
+        membw_per_vcpu=300.0,
+        numa_locality=0.25,
+        comm_intensity=0.85,
+        comm_latency_sensitivity=0.95,  # Section 6's prime latency example
+        comm_bytes_per_vcpu=150.0,
+        smt_affinity=-0.25,
+        phase_noise=0.015,
+        memory_gb=36.3,
+        page_cache_fraction=0.6,
+        n_tasks=40,
+        n_processes=1,
+        metric_name="ops/s",
+    ),
+]
+
+_BY_NAME: Dict[str, WorkloadProfile] = {p.name: p for p in _PROFILES}
+
+#: Workload names in the order Table 2 lists them.
+PAPER_WORKLOAD_NAMES = tuple(p.name for p in _PROFILES)
+
+
+def paper_workloads() -> List[WorkloadProfile]:
+    """All 18 paper workloads (fresh list; profiles are immutable)."""
+    return list(_PROFILES)
+
+
+def workload_by_name(name: str) -> WorkloadProfile:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(sorted(_BY_NAME))}"
+        ) from None

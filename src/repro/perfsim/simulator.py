@@ -1,0 +1,473 @@
+"""The placement performance simulator.
+
+Composes the effect models of :mod:`repro.perfsim.effects` into a
+throughput figure for (workload, placement) pairs, supports co-located
+containers sharing nodes (needed by the Aggressive policies of Section 7),
+and produces deterministic, seedable measurement noise so that "running" a
+container twice gives realistically different numbers.
+
+Conventions
+-----------
+* Throughput is in application operations per second (the profile's
+  ``metric_name``); only ratios between placements matter.
+* Relative performance vectors are ``perf[i] / perf[baseline]`` — higher is
+  better.  (The paper's prose example normalizes the other way around; the
+  figures use this orientation.)
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.placements import Placement
+from repro.perfsim.calibration import MachineCalibration, calibration_for
+from repro.perfsim import effects
+from repro.perfsim.workload import WorkloadProfile
+from repro.topology.machine import MachineTopology
+
+
+@dataclass(frozen=True)
+class ContainerRun:
+    """Result of one simulated run."""
+
+    profile: WorkloadProfile
+    placement: Placement
+    throughput: float
+    factors: Dict[str, float]
+
+
+def _stable_seed(*parts) -> int:
+    text = "|".join(str(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class PerformanceSimulator:
+    """Simulates workload throughput in placements on one machine.
+
+    Parameters
+    ----------
+    machine:
+        Target machine model.
+    calibration:
+        Dynamic-behaviour constants; defaults to the machine's preset
+        calibration.
+    seed:
+        Base seed for measurement noise.  All randomness is derived
+        deterministically from (seed, workload, placement, repetition).
+    """
+
+    def __init__(
+        self,
+        machine: MachineTopology,
+        *,
+        calibration: MachineCalibration | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.calibration = (
+            calibration if calibration is not None else calibration_for(machine)
+        )
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Single-container model
+    # ------------------------------------------------------------------
+
+    def breakdown(
+        self, profile: WorkloadProfile, placement: Placement
+    ) -> Dict[str, float]:
+        """Noise-free per-effect multipliers for one placement."""
+        self._check_placement(placement)
+        machine = self.machine
+        cal = self.calibration
+        n_nodes = placement.n_nodes
+        vcpus = placement.vcpus
+
+        smt = effects.smt_factor(
+            placement.l2_share,
+            machine.threads_per_l2,
+            cal.smt_efficiency,
+            profile.smt_affinity,
+        ) * effects.l2_capacity_factor(
+            profile.working_set_mb / vcpus,
+            placement.l2_share,
+            machine.l2_size_kb / 1024.0,
+            cal.l2_pressure_mb,
+        )
+
+        ws_per_l3 = effects.effective_working_set_per_l3(
+            profile.working_set_mb, profile.shared_fraction, placement.l3_score
+        )
+        misses = effects.miss_fraction(ws_per_l3, machine.l3_size_mb)
+        cache = effects.cache_factor(profile.cache_sensitivity, misses)
+
+        dram_demand = vcpus * profile.membw_per_vcpu * misses
+        dram_supply = n_nodes * machine.dram_bandwidth_mbps
+        membw = effects.saturation_factor(
+            dram_demand, dram_supply, cal.saturation_sharpness
+        )
+
+        if n_nodes > 1:
+            cross_fraction = (n_nodes - 1) / n_nodes
+            ic_demand = (
+                dram_demand * (1.0 - profile.numa_locality) * cross_fraction
+                + vcpus * profile.comm_bytes_per_vcpu * cross_fraction
+            )
+            ic_supply = machine.interconnect.aggregate_bandwidth(placement.nodes)
+            interconnect = effects.saturation_factor(
+                ic_demand, ic_supply, cal.saturation_sharpness
+            )
+        else:
+            interconnect = 1.0
+
+        mean_latency = machine.interconnect.mean_pairwise_latency_ns(
+            placement.nodes
+        )
+        comm = effects.comm_latency_factor(
+            profile.comm_intensity,
+            profile.comm_latency_sensitivity,
+            mean_latency,
+            machine.interconnect.local_latency_ns,
+        )
+
+        return {
+            "smt": smt,
+            "cache": cache,
+            "membw": membw,
+            "interconnect": interconnect,
+            "comm_latency": comm,
+        }
+
+    def throughput(
+        self,
+        profile: WorkloadProfile,
+        placement: Placement,
+        *,
+        noise: bool = True,
+        duration_s: float = 10.0,
+        repetition: int = 0,
+    ) -> float:
+        """Throughput of the container in a placement.
+
+        ``duration_s`` models how long the measurement ran: short probes
+        (the scheduler's "couple of seconds" observations) are noisier than
+        long steady-state runs.
+        """
+        factors = self.breakdown(profile, placement)
+        value = profile.ipc_base * placement.vcpus
+        for factor in factors.values():
+            value *= factor
+        if noise and profile.phase_noise > 0:
+            value *= self._noise_multiplier(profile, placement, duration_s, repetition)
+        return value
+
+    def run(
+        self,
+        profile: WorkloadProfile,
+        placement: Placement,
+        *,
+        noise: bool = True,
+        duration_s: float = 10.0,
+        repetition: int = 0,
+    ) -> ContainerRun:
+        """Like :meth:`throughput`, but returns the factor breakdown too."""
+        factors = self.breakdown(profile, placement)
+        value = profile.ipc_base * placement.vcpus
+        for factor in factors.values():
+            value *= factor
+        if noise and profile.phase_noise > 0:
+            value *= self._noise_multiplier(profile, placement, duration_s, repetition)
+        return ContainerRun(profile, placement, value, factors)
+
+    def base_ipc(self, profile: WorkloadProfile) -> float:
+        """The workload's instructions-per-cycle in ideal conditions.
+
+        Real applications' IPC correlates with how memory-bound they are;
+        that correlation is what makes absolute IPC observations informative
+        to the model across workloads (Section 5 uses IPC as the generic
+        online metric).  A stable per-workload residual models everything
+        else (instruction mix, branchiness).
+        """
+        memory_pressure = min(1.0, profile.membw_per_vcpu / 2000.0)
+        residual = 0.85 + 0.3 * (
+            zlib.crc32(f"{profile.name}:ipc".encode()) % 1000
+        ) / 1000.0
+        return (
+            2.4
+            * (1.0 - 0.45 * memory_pressure)
+            * (1.0 - 0.25 * profile.cache_sensitivity)
+            * residual
+        )
+
+    def measured_ipc(
+        self,
+        profile: WorkloadProfile,
+        placement: Placement,
+        *,
+        noise: bool = True,
+        duration_s: float = 10.0,
+        repetition: int = 0,
+    ) -> float:
+        """The online performance metric the scheduler observes: achieved
+        instructions per cycle.  Unlike :meth:`throughput` (application
+        units, arbitrary scale per workload), IPC is comparable across
+        workloads, which is what model training needs."""
+        factors = self.breakdown(profile, placement)
+        value = self.base_ipc(profile)
+        for factor in factors.values():
+            value *= factor
+        if noise and profile.phase_noise > 0:
+            value *= self._noise_multiplier(
+                profile, placement, duration_s, repetition, extra=1_000_003
+            )
+        return value
+
+    def performance_vector(
+        self,
+        profile: WorkloadProfile,
+        placements: Sequence[Placement],
+        *,
+        baseline_index: int = 0,
+        noise: bool = False,
+        repetition: int = 0,
+    ) -> np.ndarray:
+        """Relative performance across a placement list (the model's target
+        quantity): ``perf[i] / perf[baseline]``."""
+        if not placements:
+            raise ValueError("placements must not be empty")
+        if not 0 <= baseline_index < len(placements):
+            raise ValueError(
+                f"baseline_index {baseline_index} out of range for "
+                f"{len(placements)} placements"
+            )
+        values = np.array(
+            [
+                self.throughput(
+                    profile, p, noise=noise, repetition=repetition
+                )
+                for p in placements
+            ]
+        )
+        baseline = values[baseline_index]
+        if baseline <= 0:
+            raise ValueError("baseline throughput is non-positive")
+        return values / baseline
+
+    # ------------------------------------------------------------------
+    # Co-located containers (Aggressive policies, Section 7)
+    # ------------------------------------------------------------------
+
+    def simulate_colocated(
+        self,
+        assignments: Sequence[Tuple[WorkloadProfile, Placement]],
+        *,
+        noise: bool = True,
+        repetition: int = 0,
+    ) -> List[float]:
+        """Throughput of containers that may share NUMA nodes.
+
+        The solo path is the special case of a single assignment; with
+        sharing, containers split L3 capacity in proportion to their thread
+        counts, add their DRAM and interconnect demands, time-share
+        oversubscribed cores, and suffer effective SMT sharing from
+        neighbours' threads.
+        """
+        if not assignments:
+            raise ValueError("assignments must not be empty")
+        machine = self.machine
+        cal = self.calibration
+        for _, placement in assignments:
+            self._check_placement(placement)
+
+        # Per-node thread pressure across all containers.
+        threads_on_node: Dict[int, float] = {}
+        per_container_nodes: List[Dict[int, int]] = []
+        for _, placement in assignments:
+            counts: Dict[int, int] = {}
+            for thread in placement.threads:
+                node = machine.node_of_thread(thread)
+                counts[node] = counts.get(node, 0) + 1
+            per_container_nodes.append(counts)
+            for node, count in counts.items():
+                threads_on_node[node] = threads_on_node.get(node, 0) + count
+
+        # First pass: per-container miss fractions under shared caches.
+        miss_fractions: List[float] = []
+        for (profile, placement), counts in zip(assignments, per_container_nodes):
+            share = np.mean(
+                [counts[node] / threads_on_node[node] for node in counts]
+            )
+            ws_per_l3 = effects.effective_working_set_per_l3(
+                profile.working_set_mb,
+                profile.shared_fraction,
+                placement.l3_score,
+            )
+            misses = effects.miss_fraction(
+                ws_per_l3, machine.l3_size_mb * float(share)
+            )
+            miss_fractions.append(misses)
+
+        # Aggregate DRAM demand per node, and each container's own
+        # interconnect demand (shared later in proportion to node overlap).
+        dram_demand_on_node: Dict[int, float] = {n: 0.0 for n in threads_on_node}
+        ic_demands: List[float] = []
+        for (profile, placement), counts, misses in zip(
+            assignments, per_container_nodes, miss_fractions
+        ):
+            demand = placement.vcpus * profile.membw_per_vcpu * misses
+            for node, count in counts.items():
+                dram_demand_on_node[node] += demand * count / placement.vcpus
+            n_nodes = placement.n_nodes
+            if n_nodes > 1:
+                cross = (n_nodes - 1) / n_nodes
+                ic_demands.append(
+                    demand * (1.0 - profile.numa_locality) * cross
+                    + placement.vcpus * profile.comm_bytes_per_vcpu * cross
+                )
+            else:
+                ic_demands.append(0.0)
+
+        results: List[float] = []
+        for index, ((profile, placement), counts, misses) in enumerate(
+            zip(assignments, per_container_nodes, miss_fractions)
+        ):
+            weights = np.array([counts[node] for node in counts], dtype=float)
+            weights /= weights.sum()
+            nodes = list(counts)
+
+            # CPU time-sharing on oversubscribed nodes.
+            cpu = float(
+                np.dot(
+                    weights,
+                    [
+                        min(1.0, machine.threads_per_node / threads_on_node[n])
+                        for n in nodes
+                    ],
+                )
+            )
+
+            # Effective SMT sharing: own pinning or neighbour pressure,
+            # whichever is denser.
+            smt_values = []
+            for node in nodes:
+                pressure = threads_on_node[node] / machine.l2_groups_per_node
+                eff_share = max(
+                    placement.l2_share,
+                    min(machine.threads_per_l2, pressure),
+                )
+                smt_values.append(
+                    effects.smt_factor(
+                        eff_share,
+                        machine.threads_per_l2,
+                        cal.smt_efficiency,
+                        profile.smt_affinity,
+                    )
+                )
+            smt = float(np.dot(weights, smt_values)) * effects.l2_capacity_factor(
+                profile.working_set_mb / placement.vcpus,
+                placement.l2_share,
+                machine.l2_size_kb / 1024.0,
+                cal.l2_pressure_mb,
+            )
+
+            cache = effects.cache_factor(profile.cache_sensitivity, misses)
+
+            membw = float(
+                np.dot(
+                    weights,
+                    [
+                        effects.saturation_factor(
+                            dram_demand_on_node[n],
+                            machine.dram_bandwidth_mbps,
+                            cal.saturation_sharpness,
+                        )
+                        for n in nodes
+                    ],
+                )
+            )
+
+            if placement.n_nodes > 1:
+                # A neighbour's traffic competes for this container's links
+                # in proportion to how much of the neighbour lives on the
+                # same nodes.
+                own_nodes = set(placement.nodes)
+                ic_demand = 0.0
+                for other_index, (
+                    (_other_profile, other_placement),
+                    other_demand,
+                ) in enumerate(zip(assignments, ic_demands)):
+                    if other_index == index:
+                        ic_demand += other_demand
+                        continue
+                    overlap = len(own_nodes & set(other_placement.nodes))
+                    ic_demand += other_demand * overlap / other_placement.n_nodes
+                ic_supply = machine.interconnect.aggregate_bandwidth(
+                    placement.nodes
+                )
+                interconnect = effects.saturation_factor(
+                    ic_demand, ic_supply, cal.saturation_sharpness
+                )
+            else:
+                interconnect = 1.0
+
+            comm = effects.comm_latency_factor(
+                profile.comm_intensity,
+                profile.comm_latency_sensitivity,
+                machine.interconnect.mean_pairwise_latency_ns(placement.nodes),
+                machine.interconnect.local_latency_ns,
+            )
+
+            value = (
+                profile.ipc_base
+                * placement.vcpus
+                * cpu
+                * smt
+                * cache
+                * membw
+                * interconnect
+                * comm
+            )
+            if noise and profile.phase_noise > 0:
+                value *= self._noise_multiplier(
+                    profile, placement, 10.0, repetition, extra=index
+                )
+            results.append(value)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _noise_multiplier(
+        self,
+        profile: WorkloadProfile,
+        placement: Placement,
+        duration_s: float,
+        repetition: int,
+        *,
+        extra: int = 0,
+    ) -> float:
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        rng = np.random.default_rng(
+            _stable_seed(
+                self.seed,
+                self.machine.name,
+                profile.name,
+                placement.nodes,
+                placement.l2_share,
+                repetition,
+                extra,
+            )
+        )
+        sigma = profile.phase_noise / np.sqrt(max(duration_s, 1e-9) / 10.0)
+        return float(np.exp(rng.normal(0.0, sigma)))
+
+    def _check_placement(self, placement: Placement) -> None:
+        if placement.machine.name != self.machine.name:
+            raise ValueError(
+                f"placement targets {placement.machine.name}, simulator "
+                f"models {self.machine.name}"
+            )

@@ -1,0 +1,39 @@
+"""Machine topology substrate.
+
+This subpackage models the hardware that the paper's methodology consumes:
+NUMA nodes, hardware threads, the cache-sharing hierarchy (L2 groups, L3
+groups), and the cross-node interconnect with per-link bandwidths.
+
+The paper ran on two physical machines (a quad AMD Opteron 6272 and a quad
+Intel Xeon E7-4830 v3).  We do not have that hardware, so
+:mod:`repro.topology.presets` ships faithful *models* of both machines,
+calibrated so that every structural statement in Section 4 of the paper holds
+(see ``DESIGN.md`` for the calibration targets).
+"""
+
+from repro.topology.interconnect import Interconnect, Link
+from repro.topology.machine import MachineTopology
+from repro.topology.builder import TopologyBuilder
+from repro.topology.presets import (
+    amd_opteron_6272,
+    intel_xeon_e7_4830_v3,
+    amd_epyc_zen,
+    intel_haswell_cod,
+)
+from repro.topology.stream import StreamProbe, build_bandwidth_table
+from repro.topology.sysfs import machine_to_sysfs, machine_from_sysfs
+
+__all__ = [
+    "Interconnect",
+    "Link",
+    "MachineTopology",
+    "TopologyBuilder",
+    "amd_opteron_6272",
+    "intel_xeon_e7_4830_v3",
+    "amd_epyc_zen",
+    "intel_haswell_cod",
+    "StreamProbe",
+    "build_bandwidth_table",
+    "machine_to_sysfs",
+    "machine_from_sysfs",
+]

@@ -1,0 +1,166 @@
+"""Fluent construction of :class:`MachineTopology` objects.
+
+The paper argues (Section 8) that its methodology transfers to future
+architectures "without significant retooling by an expert".  The builder is
+the API surface for that claim: a user describes a new machine in a few
+lines and everything downstream (concerns, enumeration, model training)
+works unchanged.
+
+Example
+-------
+>>> from repro.topology import TopologyBuilder
+>>> machine = (
+...     TopologyBuilder("toy")
+...     .nodes(2)
+...     .l2_groups_per_node(4, threads_per_l2=2)
+...     .dram_bandwidth(20_000)
+...     .cache_sizes(l3_mb=16, l2_kb=512)
+...     .symmetric_interconnect(bandwidth_mbps=8_000)
+...     .build()
+... )
+>>> machine.total_threads
+16
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.topology.interconnect import Interconnect
+from repro.topology.machine import MachineTopology
+
+
+class TopologyBuilder:
+    """Step-by-step construction of a machine model.
+
+    All setters return ``self`` so calls can be chained.  :meth:`build`
+    validates that every required piece has been supplied.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("machine name must not be empty")
+        self._name = name
+        self._n_nodes: int | None = None
+        self._l2_groups: int | None = None
+        self._threads_per_l2: int = 1
+        self._l3_groups: int = 1
+        self._dram_mbps: float | None = None
+        self._l3_size_mb: float | None = None
+        self._l2_size_kb: float | None = None
+        self._links: Dict[Tuple[int, int], float] | None = None
+        self._symmetric_bw: float | None = None
+        self._local_latency_ns: float = 90.0
+        self._hop_latency_ns: float = 110.0
+        self._description: str = ""
+
+    # ------------------------------------------------------------------
+
+    def nodes(self, n: int) -> "TopologyBuilder":
+        self._n_nodes = n
+        return self
+
+    def l2_groups_per_node(
+        self, groups: int, *, threads_per_l2: int = 2
+    ) -> "TopologyBuilder":
+        self._l2_groups = groups
+        self._threads_per_l2 = threads_per_l2
+        return self
+
+    def l3_groups_per_node(self, groups: int) -> "TopologyBuilder":
+        """Model split-L3 designs (AMD Zen CCX) where several L3 caches share
+        one memory controller."""
+        self._l3_groups = groups
+        return self
+
+    def dram_bandwidth(self, mbps: float) -> "TopologyBuilder":
+        self._dram_mbps = mbps
+        return self
+
+    def cache_sizes(self, *, l3_mb: float, l2_kb: float) -> "TopologyBuilder":
+        self._l3_size_mb = l3_mb
+        self._l2_size_kb = l2_kb
+        return self
+
+    def latencies(
+        self, *, local_ns: float, per_hop_ns: float
+    ) -> "TopologyBuilder":
+        self._local_latency_ns = local_ns
+        self._hop_latency_ns = per_hop_ns
+        return self
+
+    def symmetric_interconnect(self, *, bandwidth_mbps: float) -> "TopologyBuilder":
+        """Full-mesh interconnect where every node pair sees the same
+        bandwidth (the paper's Intel machine)."""
+        if self._links is not None:
+            raise ValueError("interconnect already specified as explicit links")
+        self._symmetric_bw = bandwidth_mbps
+        return self
+
+    def asymmetric_interconnect(
+        self, links: Dict[Tuple[int, int], float]
+    ) -> "TopologyBuilder":
+        """Explicit link list with per-link measured bandwidths (the paper's
+        AMD machine)."""
+        if self._symmetric_bw is not None:
+            raise ValueError("interconnect already specified as symmetric")
+        self._links = dict(links)
+        return self
+
+    def description(self, text: str) -> "TopologyBuilder":
+        self._description = text
+        return self
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> MachineTopology:
+        missing = [
+            label
+            for label, value in [
+                ("nodes(..)", self._n_nodes),
+                ("l2_groups_per_node(..)", self._l2_groups),
+                ("dram_bandwidth(..)", self._dram_mbps),
+                ("cache_sizes(..)", self._l3_size_mb),
+            ]
+            if value is None
+        ]
+        if self._symmetric_bw is None and self._links is None:
+            missing.append("symmetric_interconnect(..) or asymmetric_interconnect(..)")
+        if missing:
+            raise ValueError(
+                "TopologyBuilder is incomplete; missing: " + ", ".join(missing)
+            )
+
+        assert self._n_nodes is not None
+        if self._symmetric_bw is not None:
+            interconnect = Interconnect.full_mesh(
+                self._n_nodes,
+                self._symmetric_bw,
+                local_latency_ns=self._local_latency_ns,
+                hop_latency_ns=self._hop_latency_ns,
+            )
+        else:
+            assert self._links is not None
+            interconnect = Interconnect(
+                self._n_nodes,
+                self._links,
+                local_latency_ns=self._local_latency_ns,
+                hop_latency_ns=self._hop_latency_ns,
+            )
+
+        assert self._l2_groups is not None
+        assert self._dram_mbps is not None
+        assert self._l3_size_mb is not None
+        assert self._l2_size_kb is not None
+        return MachineTopology(
+            name=self._name,
+            n_nodes=self._n_nodes,
+            l2_groups_per_node=self._l2_groups,
+            threads_per_l2=self._threads_per_l2,
+            interconnect=interconnect,
+            dram_bandwidth_mbps=self._dram_mbps,
+            l3_size_mb=self._l3_size_mb,
+            l2_size_kb=self._l2_size_kb,
+            l3_groups_per_node=self._l3_groups,
+            description=self._description,
+        )

@@ -1,0 +1,199 @@
+"""Models of the machines used in the paper, plus two Section-8 machines.
+
+Substitution note (see DESIGN.md section 2)
+-------------------------------------------
+The paper evaluates on two physical machines.  We do not have them, so these
+presets are *calibrated reconstructions*: the cache hierarchy and core counts
+come straight from Figure 2 of the paper, and the AMD interconnect link
+bandwidths were chosen so that every structural statement in Section 4 holds
+on the model:
+
+* nodes (0,5) and (3,6) are two interconnect hops apart;
+* {2,3,4,5} is the best-connected 4-node set, and its complement {0,1,6,7}
+  survives enumeration as the placement that packs with it;
+* the pair {0,1,4,5} / {2,3,6,7} is Pareto-dominated by the pair
+  {0,2,4,6} / {1,3,5,7};
+* the aggregate interconnect score of the full 8-node placement is
+  35 000 MB/s, matching the paper's example score vector [16, 8, 35000] for a
+  16-vCPU container placed on 8 nodes without SMT;
+* the enumeration of Section 4 yields exactly 13 important placements with
+  the composition the paper reports (two 8-node, eight 4-node, three 2-node).
+
+The AMD links fall into six bandwidth classes.  Packages (dual-die MCMs) are
+{0,1}, {2,3}, {4,5}, {6,7}; the two middle packages are the best connected,
+the two outer packages the worst:
+
+=====  =====================================  ================
+class  links                                  bandwidth (MB/s)
+=====  =====================================  ================
+A      (2,3), (4,5)    middle intra-package   3250
+D      (0,2), (1,3), (4,6), (5,7)  ladder     2000
+B      (2,4), (3,5)    middle cross           1750
+C      (0,1), (6,7)    outer intra-package    1500
+E      (0,4), (1,5), (2,6), (3,7)  long       1000
+F      (0,6), (1,7)    outer-outer            750
+=====  =====================================  ================
+
+Every node has exactly four links (the HyperTransport port budget of an
+Opteron die) and the graph diameter is 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.topology.interconnect import Interconnect
+from repro.topology.machine import MachineTopology
+
+#: Link bandwidth classes of the modelled AMD interconnect (MB/s).
+AMD_LINK_CLASSES: Dict[str, float] = {
+    "A": 3250.0,
+    "B": 1750.0,
+    "C": 1500.0,
+    "D": 2000.0,
+    "E": 1000.0,
+    "F": 750.0,
+}
+
+#: Which links belong to which class.
+AMD_LINKS_BY_CLASS: Dict[str, Tuple[Tuple[int, int], ...]] = {
+    "A": ((2, 3), (4, 5)),
+    "B": ((2, 4), (3, 5)),
+    "C": ((0, 1), (6, 7)),
+    "D": ((0, 2), (1, 3), (4, 6), (5, 7)),
+    "E": ((0, 4), (1, 5), (2, 6), (3, 7)),
+    "F": ((0, 6), (1, 7)),
+}
+
+
+def _amd_links() -> Dict[Tuple[int, int], float]:
+    links: Dict[Tuple[int, int], float] = {}
+    for cls, pairs in AMD_LINKS_BY_CLASS.items():
+        for pair in pairs:
+            links[pair] = AMD_LINK_CLASSES[cls]
+    return links
+
+
+def amd_opteron_6272() -> MachineTopology:
+    """The paper's quad AMD Opteron 6272 ("Interlagos").
+
+    8 NUMA nodes, 64 cores.  Pairs of cores form a Bulldozer module sharing
+    the instruction front-end, a 2 MB L2 cache and the FP units, so an L2
+    group holds 2 hardware threads and there are 4 modules (8 cores) per
+    node.  Each node has an 8 MB L3 cache and its own memory controller.
+    The interconnect is asymmetric (see module docstring).
+    """
+    return MachineTopology(
+        name="amd-opteron-6272",
+        n_nodes=8,
+        l2_groups_per_node=4,
+        threads_per_l2=2,
+        interconnect=Interconnect(
+            8,
+            _amd_links(),
+            local_latency_ns=90.0,
+            hop_latency_ns=130.0,
+        ),
+        dram_bandwidth_mbps=12_000.0,
+        l3_size_mb=8.0,
+        l2_size_kb=2_048.0,
+        description=(
+            "Quad AMD Opteron 6272 model; asymmetric HyperTransport "
+            "interconnect calibrated to the structural claims of Section 4 "
+            "of Funston et al., ATC'18"
+        ),
+    )
+
+
+def intel_xeon_e7_4830_v3() -> MachineTopology:
+    """The paper's quad Intel Xeon E7-4830 v3 ("Haswell-EX").
+
+    4 NUMA nodes, 12 physical cores per node, 2-way SMT: 96 hardware
+    threads.  An L2 group is one physical core (2 hyperthreads, 256 KB L2);
+    each node has a 30 MB L3.  The QPI interconnect is symmetric, so the
+    machine needs no interconnect scheduling concern (Section 4).
+    """
+    return MachineTopology(
+        name="intel-xeon-e7-4830-v3",
+        n_nodes=4,
+        l2_groups_per_node=12,
+        threads_per_l2=2,
+        interconnect=Interconnect.full_mesh(
+            4,
+            9_000.0,
+            local_latency_ns=80.0,
+            hop_latency_ns=150.0,
+        ),
+        dram_bandwidth_mbps=35_000.0,
+        l3_size_mb=30.0,
+        l2_size_kb=256.0,
+        description=(
+            "Quad Intel Xeon E7-4830 v3 model; symmetric QPI interconnect"
+        ),
+    )
+
+
+def amd_epyc_zen() -> MachineTopology:
+    """A Zen-like machine for the Section 8 portability discussion.
+
+    AMD's Zen separates L3 sharing from memory-controller sharing: each node
+    holds two core complexes (CCX) with private L3 caches in front of one
+    memory controller.  The machine model expresses this with
+    ``l3_groups_per_node=2``; the concern layer then scores L3 caches and
+    NUMA nodes independently.
+    """
+    return MachineTopology(
+        name="amd-epyc-zen",
+        n_nodes=4,
+        l2_groups_per_node=8,
+        threads_per_l2=2,
+        l3_groups_per_node=2,
+        interconnect=Interconnect.full_mesh(
+            4,
+            10_000.0,
+            local_latency_ns=85.0,
+            hop_latency_ns=100.0,
+        ),
+        dram_bandwidth_mbps=30_000.0,
+        l3_size_mb=8.0,
+        l2_size_kb=512.0,
+        description="Zen-like machine: two L3 complexes per memory controller",
+    )
+
+
+def intel_haswell_cod() -> MachineTopology:
+    """A Haswell-E cluster-on-die-like machine for Section 8.
+
+    Cluster-on-die splits one socket into two NUMA nodes with an asymmetric
+    on-die link between them that is much faster than the socket-to-socket
+    QPI links, producing an asymmetric interconnect out of a symmetric
+    2-socket system.
+    """
+    links: Dict[Tuple[int, int], float] = {
+        # on-die links between the two halves of each socket
+        (0, 1): 24_000.0,
+        (2, 3): 24_000.0,
+        # cross-socket QPI links
+        (0, 2): 8_000.0,
+        (1, 3): 8_000.0,
+        (0, 3): 8_000.0,
+        (1, 2): 8_000.0,
+    }
+    return MachineTopology(
+        name="intel-haswell-cod",
+        n_nodes=4,
+        l2_groups_per_node=6,
+        threads_per_l2=2,
+        interconnect=Interconnect(
+            4,
+            links,
+            local_latency_ns=80.0,
+            hop_latency_ns=85.0,
+        ),
+        dram_bandwidth_mbps=28_000.0,
+        l3_size_mb=15.0,
+        l2_size_kb=256.0,
+        description=(
+            "Cluster-on-die machine: fast on-die node pairs, slower QPI"
+        ),
+    )

@@ -1,0 +1,225 @@
+"""Sysfs-style serialization of machine models.
+
+The paper envisions the scheduling-concern specification "being provided as
+part of system BIOS", with the cache-sharing information coming from what
+the OS already exports under ``/sys/devices/system``.  This module round-trips
+a :class:`MachineTopology` through exactly that representation:
+
+* standard sysfs paths describe nodes, threads, and cache sharing
+  (``cpu*/topology/physical_package_id``, ``cpu*/cache/index{2,3}/...``,
+  ``node*/cpulist``);
+* measured quantities sysfs does not carry (DRAM bandwidth, interconnect
+  link bandwidths, latencies) live under a vendor-style ``repro/`` prefix,
+  playing the role of the BIOS-provided tables.
+
+The representation is a flat ``{relative_path: text}`` mapping, plus helpers
+to write/read it as a real directory tree so example scripts can show users
+an actual filesystem layout.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List
+
+from repro.topology.interconnect import Interconnect
+from repro.topology.machine import MachineTopology
+
+_NAME_PATH = "repro/name"
+_DESC_PATH = "repro/description"
+_DRAM_PATH = "repro/dram_bandwidth_mbps"
+_LINKS_PATH = "repro/interconnect/links"
+_LATENCY_PATH = "repro/interconnect/latency_ns"
+
+
+def format_cpulist(cpus: Iterable[int]) -> str:
+    """Render a cpu set the way sysfs does: ``"0-3,8,10-11"``."""
+    sorted_cpus = sorted(set(cpus))
+    if not sorted_cpus:
+        return ""
+    ranges: List[List[int]] = [[sorted_cpus[0], sorted_cpus[0]]]
+    for cpu in sorted_cpus[1:]:
+        if cpu == ranges[-1][1] + 1:
+            ranges[-1][1] = cpu
+        else:
+            ranges.append([cpu, cpu])
+    return ",".join(
+        f"{lo}" if lo == hi else f"{lo}-{hi}" for lo, hi in ranges
+    )
+
+
+def parse_cpulist(text: str) -> List[int]:
+    """Inverse of :func:`format_cpulist`."""
+    text = text.strip()
+    if not text:
+        return []
+    cpus: List[int] = []
+    for part in text.split(","):
+        if "-" in part:
+            lo_text, hi_text = part.split("-")
+            lo, hi = int(lo_text), int(hi_text)
+            if hi < lo:
+                raise ValueError(f"invalid cpu range {part!r}")
+            cpus.extend(range(lo, hi + 1))
+        else:
+            cpus.append(int(part))
+    return sorted(set(cpus))
+
+
+def machine_to_sysfs(machine: MachineTopology) -> Dict[str, str]:
+    """Serialize a machine to a flat sysfs-style mapping."""
+    tree: Dict[str, str] = {}
+
+    tree["devices/system/node/online"] = format_cpulist(machine.nodes)
+    for node in machine.nodes:
+        tree[f"devices/system/node/node{node}/cpulist"] = format_cpulist(
+            machine.threads_of_node(node)
+        )
+
+    tree["devices/system/cpu/online"] = format_cpulist(
+        range(machine.total_threads)
+    )
+    l2_size = f"{int(machine.l2_size_kb)}K"
+    l3_size = f"{int(machine.l3_size_mb * 1024)}K"
+    for thread in range(machine.total_threads):
+        base = f"devices/system/cpu/cpu{thread}"
+        tree[f"{base}/topology/physical_package_id"] = str(
+            machine.node_of_thread(thread)
+        )
+        l2_group = machine.l2_group_of_thread(thread)
+        tree[f"{base}/cache/index2/shared_cpu_list"] = format_cpulist(
+            machine.threads_of_l2_group(l2_group)
+        )
+        tree[f"{base}/cache/index2/size"] = l2_size
+        l3_group = machine.l3_group_of_thread(thread)
+        threads_per_l3 = machine.threads_per_node // machine.l3_groups_per_node
+        l3_start = l3_group * threads_per_l3
+        tree[f"{base}/cache/index3/shared_cpu_list"] = format_cpulist(
+            range(l3_start, l3_start + threads_per_l3)
+        )
+        tree[f"{base}/cache/index3/size"] = l3_size
+
+    tree[_NAME_PATH] = machine.name
+    if machine.description:
+        tree[_DESC_PATH] = machine.description
+    tree[_DRAM_PATH] = repr(machine.dram_bandwidth_mbps)
+    link_lines = [
+        f"{min(link)} {max(link)} {bandwidth!r}"
+        for link, bandwidth in sorted(
+            machine.interconnect.links.items(), key=lambda kv: sorted(kv[0])
+        )
+    ]
+    tree[_LINKS_PATH] = "\n".join(link_lines)
+    tree[_LATENCY_PATH] = (
+        f"{machine.interconnect.local_latency_ns!r} "
+        f"{machine.interconnect.hop_latency_ns!r}"
+    )
+    return tree
+
+
+def machine_from_sysfs(tree: Dict[str, str]) -> MachineTopology:
+    """Reconstruct a machine from :func:`machine_to_sysfs` output."""
+    try:
+        nodes = parse_cpulist(tree["devices/system/node/online"])
+        threads = parse_cpulist(tree["devices/system/cpu/online"])
+    except KeyError as exc:
+        raise ValueError(f"sysfs tree is missing {exc.args[0]!r}") from exc
+    if nodes != list(range(len(nodes))):
+        raise ValueError("node ids must be contiguous from 0")
+    if threads != list(range(len(threads))):
+        raise ValueError("thread ids must be contiguous from 0")
+    n_nodes = len(nodes)
+    total_threads = len(threads)
+    if n_nodes == 0 or total_threads == 0:
+        raise ValueError("sysfs tree describes an empty machine")
+    if total_threads % n_nodes != 0:
+        raise ValueError("threads do not divide evenly across nodes")
+    threads_per_node = total_threads // n_nodes
+
+    for node in nodes:
+        cpulist = parse_cpulist(tree[f"devices/system/node/node{node}/cpulist"])
+        expected = list(range(node * threads_per_node, (node + 1) * threads_per_node))
+        if cpulist != expected:
+            raise ValueError(
+                f"node {node} cpulist {cpulist} is not node-major contiguous"
+            )
+
+    l2_shared = parse_cpulist(
+        tree["devices/system/cpu/cpu0/cache/index2/shared_cpu_list"]
+    )
+    l3_shared = parse_cpulist(
+        tree["devices/system/cpu/cpu0/cache/index3/shared_cpu_list"]
+    )
+    threads_per_l2 = len(l2_shared)
+    threads_per_l3 = len(l3_shared)
+    if threads_per_node % threads_per_l2 != 0:
+        raise ValueError("L2 sharing does not divide the node evenly")
+    if threads_per_node % threads_per_l3 != 0:
+        raise ValueError("L3 sharing does not divide the node evenly")
+    l2_groups_per_node = threads_per_node // threads_per_l2
+    l3_groups_per_node = threads_per_node // threads_per_l3
+
+    l2_size_kb = _parse_cache_size_kb(
+        tree["devices/system/cpu/cpu0/cache/index2/size"]
+    )
+    l3_size_kb = _parse_cache_size_kb(
+        tree["devices/system/cpu/cpu0/cache/index3/size"]
+    )
+
+    links: Dict[tuple, float] = {}
+    links_text = tree.get(_LINKS_PATH, "").strip()
+    if links_text:
+        for line in links_text.splitlines():
+            a_text, b_text, bw_text = line.split()
+            links[(int(a_text), int(b_text))] = float(bw_text)
+    local_ns, hop_ns = (
+        float(x) for x in tree.get(_LATENCY_PATH, "90.0 110.0").split()
+    )
+    interconnect = Interconnect(
+        n_nodes, links, local_latency_ns=local_ns, hop_latency_ns=hop_ns
+    )
+
+    return MachineTopology(
+        name=tree.get(_NAME_PATH, "from-sysfs"),
+        n_nodes=n_nodes,
+        l2_groups_per_node=l2_groups_per_node,
+        threads_per_l2=threads_per_l2,
+        interconnect=interconnect,
+        dram_bandwidth_mbps=float(tree[_DRAM_PATH]),
+        l3_size_mb=l3_size_kb / 1024.0,
+        l2_size_kb=l2_size_kb,
+        l3_groups_per_node=l3_groups_per_node,
+        description=tree.get(_DESC_PATH, ""),
+    )
+
+
+def _parse_cache_size_kb(text: str) -> float:
+    text = text.strip()
+    if text.endswith("K"):
+        return float(text[:-1])
+    if text.endswith("M"):
+        return float(text[:-1]) * 1024.0
+    raise ValueError(f"unrecognized cache size {text!r}")
+
+
+def write_sysfs_tree(machine: MachineTopology, root: str) -> None:
+    """Materialize the sysfs representation as files under ``root``."""
+    for rel_path, content in machine_to_sysfs(machine).items():
+        path = os.path.join(root, rel_path)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content + "\n")
+
+
+def read_sysfs_tree(root: str) -> MachineTopology:
+    """Read a machine back from a directory written by
+    :func:`write_sysfs_tree` (file contents are stripped of the trailing
+    newline)."""
+    tree: Dict[str, str] = {}
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            path = os.path.join(dirpath, filename)
+            rel_path = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, "r", encoding="utf-8") as handle:
+                tree[rel_path] = handle.read().rstrip("\n")
+    return machine_from_sysfs(tree)

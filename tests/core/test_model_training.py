@@ -1,0 +1,232 @@
+"""Unit tests for the training set, the two models, and per-application CV.
+
+These use a reduced corpus and fixed input pairs so the suite stays fast;
+the full-accuracy reproduction runs in ``benchmarks/bench_fig4_accuracy.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HpeModel,
+    PlacementModel,
+    TrainingSet,
+    build_training_set,
+    leave_one_workload_out,
+    workload_family,
+)
+from repro.perfsim import WorkloadGenerator, paper_workloads
+from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
+
+
+@pytest.fixture(scope="module")
+def amd():
+    return amd_opteron_6272()
+
+
+@pytest.fixture(scope="module")
+def small_ts(amd):
+    corpus = paper_workloads() + WorkloadGenerator(seed=7, jitter=0.25).sample(24)
+    return build_training_set(amd, 16, corpus)
+
+
+class TestWorkloadFamily:
+    def test_spark_family(self):
+        assert workload_family("spark-cc") == "spark"
+        assert workload_family("spark-pr-lj") == "spark"
+
+    def test_postgres_family(self):
+        assert workload_family("postgres-tpch") == workload_family(
+            "postgres-tpcc"
+        )
+
+    def test_synthetic_groups_by_archetype(self):
+        assert (
+            workload_family("synthetic-latency-bound-0001")
+            == workload_family("synthetic-latency-bound-0202")
+        )
+        assert workload_family("synthetic-cpu-bound-0001") != workload_family(
+            "synthetic-latency-bound-0001"
+        )
+
+    def test_ordinary_workload_is_its_own_family(self):
+        assert workload_family("gcc") == "gcc"
+
+
+class TestTrainingSet:
+    def test_shapes(self, small_ts):
+        n = len(small_ts)
+        assert small_ts.ipc.shape == (n, 13)
+        assert small_ts.vectors.shape == (n, 13)
+        assert small_ts.hpe_features.shape == (n, 25)
+
+    def test_vectors_normalized_to_baseline(self, small_ts):
+        baseline = small_ts.baseline_index
+        assert np.allclose(small_ts.vectors[:, baseline], 1.0)
+
+    def test_subset_selects_rows(self, small_ts):
+        sub = small_ts.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert sub.names == [small_ts.names[i] for i in (0, 2, 4)]
+        assert np.array_equal(sub.ipc, small_ts.ipc[[0, 2, 4]])
+
+    def test_renormalized(self, small_ts):
+        other = small_ts.renormalized(5)
+        assert np.allclose(other.vectors[:, 5], 1.0)
+        # Renormalization preserves ratios.
+        ratio = small_ts.vectors[3, 7] / small_ts.vectors[3, 5]
+        assert other.vectors[3, 7] == pytest.approx(ratio)
+
+    def test_empty_corpus_rejected(self, amd):
+        with pytest.raises(ValueError):
+            build_training_set(amd, 16, [])
+
+    def test_shape_validation(self, small_ts):
+        with pytest.raises(ValueError, match="baseline_index"):
+            TrainingSet(
+                machine=small_ts.machine,
+                placements=small_ts.placements,
+                workloads=small_ts.workloads,
+                ipc=small_ts.ipc,
+                vectors=small_ts.vectors,
+                hpe_features=small_ts.hpe_features,
+                hpe_names=small_ts.hpe_names,
+                baseline_index=99,
+            )
+
+
+class TestPlacementModel:
+    def test_fit_with_fixed_pair_and_predict(self, small_ts):
+        model = PlacementModel(input_pair=(0, 12), random_state=0)
+        model.fit(small_ts)
+        prediction = model.predict(1.0, 1.2)
+        assert prediction.shape == (13,)
+        assert np.all(prediction > 0)
+
+    def test_baseline_is_first_of_pair(self, small_ts):
+        model = PlacementModel(input_pair=(3, 9), random_state=0).fit(small_ts)
+        assert model.baseline_index == 3
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            PlacementModel(input_pair=(0, 1)).predict(1.0, 1.0)
+
+    def test_invalid_pair_rejected(self, small_ts):
+        with pytest.raises(ValueError):
+            PlacementModel(input_pair=(0, 0)).fit(small_ts)
+        with pytest.raises(ValueError):
+            PlacementModel(input_pair=(0, 99)).fit(small_ts)
+
+    def test_pair_search_with_candidates(self, small_ts):
+        model = PlacementModel(
+            candidate_pairs=[(0, 12), (12, 0), (1, 5)],
+            selection_estimators=5,
+            random_state=0,
+        )
+        model.fit(small_ts)
+        assert model.input_pair in {(0, 12), (12, 0), (1, 5)}
+        assert set(model.selection_errors_) == {(0, 12), (12, 0), (1, 5)}
+
+    def test_in_sample_accuracy_is_high(self, small_ts):
+        model = PlacementModel(input_pair=(0, 12), random_state=0).fit(small_ts)
+        i, _ = model.input_pair
+        targets = small_ts.ipc / small_ts.ipc[:, i : i + 1]
+        predictions = model.predict_many(
+            small_ts.ipc[:, 0], small_ts.ipc[:, 12]
+        )
+        error = np.mean(np.abs(predictions - targets) / targets)
+        assert error < 0.05
+
+    def test_rejects_non_positive_observation(self, small_ts):
+        model = PlacementModel(input_pair=(0, 12), random_state=0).fit(small_ts)
+        with pytest.raises(ValueError):
+            model.predict(-1.0, 1.0)
+
+    def test_actual_row_is_normalized_to_pair_first(self, small_ts):
+        model = PlacementModel(input_pair=(2, 8), random_state=0).fit(small_ts)
+        actual = model.actual_row(small_ts, 4)
+        assert actual[2] == pytest.approx(1.0)
+
+
+class TestHpeModel:
+    def test_fit_with_explicit_features(self, small_ts):
+        model = HpeModel(
+            features=["LLC_MISSES", "INSTRUCTIONS_RETIRED"], random_state=0
+        )
+        model.fit(small_ts)
+        assert model.selected_features == [
+            "LLC_MISSES",
+            "INSTRUCTIONS_RETIRED",
+        ]
+        prediction = model.predict(small_ts.hpe_features[0])
+        assert prediction.shape == (13,)
+
+    def test_unknown_feature_rejected(self, small_ts):
+        with pytest.raises(ValueError, match="unknown HPE"):
+            HpeModel(features=["NOPE"]).fit(small_ts)
+
+    def test_sfs_selects_limited_features(self, small_ts):
+        model = HpeModel(
+            max_features=2, selection_estimators=4, random_state=0
+        )
+        model.fit(small_ts)
+        assert 1 <= len(model.selected_features) <= 2
+        assert model.selection_history_ is not None
+
+    def test_predict_requires_full_vector(self, small_ts):
+        model = HpeModel(features=["LLC_MISSES"], random_state=0).fit(small_ts)
+        with pytest.raises(ValueError, match="expected"):
+            model.predict([1.0, 2.0])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            HpeModel().predict([0.0])
+
+    def test_rejects_bad_max_features(self):
+        with pytest.raises(ValueError):
+            HpeModel(max_features=0)
+
+
+class TestLeaveOneWorkloadOut:
+    def test_families_are_excluded_together(self, small_ts):
+        captured = []
+
+        class SpyModel:
+            def fit(self, ts):
+                captured.append(set(ts.names))
+                self._ts = ts
+                return self
+
+            def predict_row(self, ts, row):
+                return np.ones(ts.n_placements)
+
+            def actual_row(self, ts, row):
+                return ts.vectors[row]
+
+        results = leave_one_workload_out(
+            SpyModel, small_ts, evaluate_names=["spark-cc"]
+        )
+        assert len(results) == 1
+        train_names = captured[0]
+        assert "spark-cc" not in train_names
+        assert "spark-pr-lj" not in train_names  # sibling excluded too
+
+    def test_fold_result_metrics(self, small_ts):
+        model_factory = lambda: PlacementModel(
+            input_pair=(0, 12), n_estimators=10, random_state=0
+        )
+        results = leave_one_workload_out(
+            model_factory, small_ts, evaluate_names=["gcc", "swaptions"]
+        )
+        assert {r.name for r in results} == {"gcc", "swaptions"}
+        for r in results:
+            assert r.mape >= 0
+            assert r.max_error_pct >= r.mape
+
+    def test_unknown_evaluate_name_rejected(self, small_ts):
+        with pytest.raises(ValueError, match="not in training set"):
+            leave_one_workload_out(
+                lambda: PlacementModel(input_pair=(0, 12)),
+                small_ts,
+                evaluate_names=["nope"],
+            )

@@ -1,0 +1,103 @@
+"""Unit tests for the random forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestRegressor
+
+
+def friedman_like(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 4))
+    y = (
+        10 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20 * (X[:, 2] - 0.5) ** 2
+        + 5 * X[:, 3]
+    )
+    return X, y + rng.normal(scale=0.2, size=n)
+
+
+class TestValidation:
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="sample count"):
+            RandomForestRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestFitting:
+    def test_fits_nonlinear_function(self):
+        X, y = friedman_like()
+        forest = RandomForestRegressor(n_estimators=30, random_state=0).fit(X, y)
+        pred = forest.predict(X)
+        residual = np.abs(pred - y).mean()
+        assert residual < 1.0  # in-sample fit of a smooth 0-25 range target
+
+    def test_generalizes_reasonably(self):
+        X, y = friedman_like(n=400, seed=1)
+        X_test, y_test = friedman_like(n=200, seed=2)
+        forest = RandomForestRegressor(n_estimators=50, random_state=0).fit(X, y)
+        error = np.abs(forest.predict(X_test) - y_test).mean()
+        assert error < 2.0
+
+    def test_multi_output_shape(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(100, 2))
+        y = np.column_stack([X[:, 0], X[:, 1] * 2, X.sum(axis=1)])
+        forest = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        assert forest.predict(X).shape == (100, 3)
+
+    def test_deterministic_given_seed(self):
+        X, y = friedman_like(n=100)
+        a = RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y)
+        b = RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_seed_changes_predictions(self):
+        X, y = friedman_like(n=100)
+        a = RandomForestRegressor(n_estimators=5, random_state=1).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=2).fit(X, y)
+        assert not np.array_equal(a.predict(X), b.predict(X))
+
+    def test_no_bootstrap_with_all_features_equals_single_tree_behaviour(self):
+        X, y = friedman_like(n=80)
+        forest = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, random_state=0
+        ).fit(X, y)
+        # Without bootstrap or feature subsampling all trees are identical.
+        p0 = forest.trees_[0].predict(X)
+        p1 = forest.trees_[1].predict(X)
+        assert np.allclose(p0, p1)
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = friedman_like()
+        forest = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        assert forest.feature_importances_ is not None
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_predict_std_is_nonnegative_and_shaped(self):
+        X, y = friedman_like(n=100)
+        forest = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        std = forest.predict_std(X[:5])
+        assert std.shape == (5,)
+        assert (std >= 0).all()
+
+    def test_predict_std_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict_std(np.zeros((1, 2)))
+
+    def test_averaging_smooths_single_tree(self):
+        """The forest mean should not be more extreme than the most extreme
+        tree."""
+        X, y = friedman_like(n=120)
+        forest = RandomForestRegressor(n_estimators=7, random_state=0).fit(X, y)
+        per_tree = np.stack([t.predict(X) for t in forest.trees_])
+        mean = forest.predict(X)
+        assert (mean <= per_tree.max(axis=0) + 1e-9).all()
+        assert (mean >= per_tree.min(axis=0) - 1e-9).all()

@@ -1,0 +1,119 @@
+"""Unit tests for k-means and the silhouette coefficient."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KMeans, choose_k_by_silhouette, silhouette_score
+
+
+def blobs(centers, n_per=40, scale=0.08, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    for center in centers:
+        points.append(
+            np.asarray(center) + rng.normal(scale=scale, size=(n_per, len(center)))
+        )
+    return np.vstack(points)
+
+
+THREE_BLOBS = blobs([(0, 0), (5, 5), (0, 5)])
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        model = KMeans(3, random_state=0)
+        labels = model.fit_predict(THREE_BLOBS)
+        # Each true blob must be assigned a single label.
+        for i in range(3):
+            block = labels[i * 40 : (i + 1) * 40]
+            assert len(np.unique(block)) == 1
+        assert len(np.unique(labels)) == 3
+
+    def test_inertia_decreases_with_k(self):
+        inertias = []
+        for k in (1, 2, 3):
+            model = KMeans(k, random_state=0).fit(THREE_BLOBS)
+            inertias.append(model.inertia_)
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_predict_matches_labels(self):
+        model = KMeans(3, random_state=0).fit(THREE_BLOBS)
+        assert np.array_equal(model.predict(THREE_BLOBS), model.labels_)
+
+    def test_deterministic_given_seed(self):
+        a = KMeans(3, random_state=1).fit(THREE_BLOBS)
+        b = KMeans(3, random_state=1).fit(THREE_BLOBS)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_rejects_more_clusters_than_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(10).fit(np.zeros((5, 2)))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(2, n_init=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_handles_duplicate_points(self):
+        X = np.vstack([np.zeros((10, 2)), np.ones((10, 2))])
+        labels = KMeans(2, random_state=0).fit_predict(X)
+        assert len(np.unique(labels)) == 2
+
+    def test_k_equals_one(self):
+        model = KMeans(1, random_state=0).fit(THREE_BLOBS)
+        assert len(np.unique(model.labels_)) == 1
+
+
+class TestSilhouette:
+    def test_well_separated_scores_high(self):
+        labels = np.repeat([0, 1, 2], 40)
+        assert silhouette_score(THREE_BLOBS, labels) > 0.8
+
+    def test_random_labels_score_low(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=len(THREE_BLOBS))
+        good = silhouette_score(THREE_BLOBS, np.repeat([0, 1, 2], 40))
+        bad = silhouette_score(THREE_BLOBS, labels)
+        assert bad < good - 0.5
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_score(THREE_BLOBS, np.zeros(len(THREE_BLOBS)))
+
+    def test_requires_fewer_clusters_than_samples(self):
+        X = np.random.default_rng(0).normal(size=(4, 2))
+        with pytest.raises(ValueError):
+            silhouette_score(X, np.arange(4))
+
+    def test_singleton_cluster_scores_zero_by_convention(self):
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        labels = np.array([0, 0, 1])
+        # The singleton contributes 0; the pair scores positively.
+        score = silhouette_score(X, labels)
+        assert 0 < score < 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            silhouette_score(THREE_BLOBS, np.zeros(3))
+
+
+class TestChooseK:
+    def test_finds_true_cluster_count(self):
+        best_k, table = choose_k_by_silhouette(
+            THREE_BLOBS, k_min=2, k_max=6, random_state=0
+        )
+        assert best_k == 3
+        assert table[3] == max(table.values())
+
+    def test_rejects_k_min_below_two(self):
+        with pytest.raises(ValueError):
+            choose_k_by_silhouette(THREE_BLOBS, k_min=1)
+
+    def test_rejects_insufficient_samples(self):
+        with pytest.raises(ValueError):
+            choose_k_by_silhouette(np.zeros((3, 2)), k_min=4, k_max=6)

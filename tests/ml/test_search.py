@@ -1,0 +1,99 @@
+"""Unit tests for the successive-halving search."""
+
+import pytest
+
+from repro.ml.search import successive_halving
+
+
+def quadratic_loss(candidate, budget):
+    # True loss is (c - 7)^2; budget is ignored by this noiseless oracle.
+    return float((candidate - 7) ** 2)
+
+
+class TestSuccessiveHalving:
+    def test_finds_optimum_of_noiseless_oracle(self):
+        result = successive_halving(range(20), quadratic_loss, budgets=[1, 2, 3])
+        assert result.best == 7
+        assert result.best_loss == 0.0
+
+    def test_budget_schedule_shrinks_pool(self):
+        result = successive_halving(
+            range(16), quadratic_loss, budgets=[1, 2, 3], keep_fraction=0.5
+        )
+        sizes = [len(r) for r in result.rounds]
+        assert sizes == [16, 8, 4]
+        assert result.evaluations == 16 + 8 + 4
+
+    def test_cheaper_than_exhaustive_repeats(self):
+        result = successive_halving(range(100), quadratic_loss, budgets=[1, 2, 3])
+        exhaustive = 100 * 3  # every candidate at every budget
+        assert result.evaluations < exhaustive
+
+    def test_noisy_cheap_rounds_still_keep_good_candidates(self):
+        # The cheap round is noisy; later rounds are accurate.  The true
+        # best must survive as long as the noise doesn't dominate the gap.
+        import random
+
+        rng = random.Random(0)
+
+        def noisy(candidate, budget):
+            noise = rng.gauss(0, 2.0 / budget)
+            return float((candidate - 7) ** 2) + noise
+
+        result = successive_halving(
+            range(20), noisy, budgets=[1, 4, 16], keep_fraction=0.5
+        )
+        assert abs(result.best - 7) <= 1
+
+    def test_min_survivors_respected(self):
+        result = successive_halving(
+            range(4), quadratic_loss, budgets=[1, 2, 3], keep_fraction=0.25
+        )
+        assert all(len(r) >= 2 for r in result.rounds[:-1])
+
+    def test_duplicate_candidates_deduped(self):
+        result = successive_halving(
+            [3, 3, 7, 7, 9], quadratic_loss, budgets=[1]
+        )
+        assert result.best == 7
+        assert len(result.rounds[0]) == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            successive_halving([], quadratic_loss, budgets=[1])
+        with pytest.raises(ValueError):
+            successive_halving([1], quadratic_loss, budgets=[])
+        with pytest.raises(ValueError):
+            successive_halving([1, 2], quadratic_loss, budgets=[1], keep_fraction=1.5)
+        with pytest.raises(ValueError):
+            successive_halving([1, 2], quadratic_loss, budgets=[1], min_survivors=0)
+
+
+class TestPlacementModelHalvingSearch:
+    def test_halving_search_selects_reasonable_pair(self):
+        from repro.core import PlacementModel, build_training_set
+        from repro.perfsim import WorkloadGenerator, paper_workloads
+        from repro.topology import intel_xeon_e7_4830_v3
+
+        intel = intel_xeon_e7_4830_v3()
+        corpus = paper_workloads() + WorkloadGenerator(seed=3, jitter=0.25).sample(18)
+        ts = build_training_set(intel, 24, corpus)
+
+        halving = PlacementModel(
+            pair_search="halving", selection_estimators=8, random_state=0
+        ).fit(ts)
+        exhaustive = PlacementModel(
+            selection_estimators=8, random_state=0
+        ).fit(ts)
+
+        assert halving.search_evaluations_ < exhaustive.search_evaluations_
+        # The halving pick must be competitive with the exhaustive pick:
+        # within 30% relative CV error of it.
+        errors = exhaustive.selection_errors_
+        assert errors[halving.input_pair] <= errors[exhaustive.input_pair] * 1.3
+
+    def test_invalid_search_mode_rejected(self):
+        from repro.core import PlacementModel
+
+        with pytest.raises(ValueError):
+            PlacementModel(pair_search="bogus")

@@ -1,0 +1,171 @@
+"""Unit tests for splitters, SFS, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KFold,
+    LeaveOneGroupOut,
+    cross_val_score,
+    max_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+    sequential_forward_selection,
+)
+
+
+class TestKFold:
+    def test_folds_partition_samples(self):
+        seen = []
+        for train, test in KFold(4).split(22):
+            seen.extend(test.tolist())
+            assert set(train) | set(test) == set(range(22))
+            assert not set(train) & set(test)
+        assert sorted(seen) == list(range(22))
+
+    def test_shuffle_changes_order_deterministically(self):
+        a = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=0).split(9)]
+        b = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=0).split(9)]
+        c = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=1).split(9)]
+        assert a == b
+        assert a != c
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_rejects_bad_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestLeaveOneGroupOut:
+    def test_each_group_becomes_test_fold(self):
+        groups = ["a", "a", "b", "c", "c", "c"]
+        folds = list(LeaveOneGroupOut().split(groups))
+        assert len(folds) == 3
+        test_groups = [g for _, _, g in folds]
+        assert test_groups == ["a", "b", "c"]
+        for train, test, group in folds:
+            assert all(groups[i] == group for i in test)
+            assert all(groups[i] != group for i in train)
+
+    def test_requires_two_groups(self):
+        with pytest.raises(ValueError):
+            list(LeaveOneGroupOut().split(["x", "x"]))
+
+
+class TestCrossValScore:
+    def test_scores_mean_model(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 2))
+        y = X[:, 0]
+
+        def fit_predict(X_train, y_train, X_test):
+            return np.full(len(X_test), y_train.mean())
+
+        scores = cross_val_score(
+            fit_predict, X, y, scorer=mean_absolute_error, n_splits=5
+        )
+        assert len(scores) == 5
+        assert all(s > 0 for s in scores)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            cross_val_score(
+                lambda a, b, c: np.zeros(len(c)),
+                np.zeros((5, 1)),
+                np.zeros(4),
+                scorer=mean_absolute_error,
+            )
+
+
+class TestSFS:
+    def test_selects_informative_features_first(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 5))
+        y = 3 * X[:, 2] + 0.5 * X[:, 4] + rng.normal(scale=0.05, size=200)
+
+        def evaluate(features):
+            # Negative CV error of a linear least-squares fit.
+            A = X[:, list(features)]
+            A = np.column_stack([A, np.ones(len(A))])
+            coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+            return -float(np.abs(A @ coef - y).mean())
+
+        selected, history = sequential_forward_selection(
+            5, evaluate, max_features=2
+        )
+        assert selected[0] == 2  # strongest predictor first
+        assert set(selected) == {2, 4}
+        assert history[-1] >= history[0]
+
+    def test_min_improvement_stops_early(self):
+        scores = {(): 0.0}
+
+        def evaluate(features):
+            # Only feature 0 helps; everything else adds nothing.
+            return 1.0 if 0 in features else 0.0
+
+        selected, history = sequential_forward_selection(
+            4, evaluate, min_improvement=0.5
+        )
+        assert selected == [0]
+        assert history == [1.0]
+
+    def test_max_features_respected(self):
+        selected, _ = sequential_forward_selection(
+            6, lambda f: float(len(f)), max_features=3
+        )
+        assert len(selected) == 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            sequential_forward_selection(0, lambda f: 0.0)
+        with pytest.raises(ValueError):
+            sequential_forward_selection(3, lambda f: 0.0, max_features=0)
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1, 2, 3], [2, 2, 2]) == pytest.approx(2 / 3)
+
+    def test_mape_is_percent(self):
+        assert mean_absolute_percentage_error([1.0, 2.0], [1.1, 1.8]) == (
+            pytest.approx((0.1 + 0.1) / 2 * 100)
+        )
+
+    def test_mape_rejects_zero_targets(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([0.0, 1.0], [1.0, 1.0])
+
+    def test_mse_rmse(self):
+        assert mean_squared_error([0, 0], [3, 4]) == pytest.approx(12.5)
+        assert root_mean_squared_error([0, 0], [3, 4]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_max_error(self):
+        assert max_error([1, 2, 3], [1, 5, 3]) == 3
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_multi_output_averages(self):
+        y = np.array([[1.0, 0.0], [2.0, 0.5], [3.0, 1.0]])
+        pred = y.copy()
+        pred[:, 1] = 0.5  # mean predictor on second output
+        assert r2_score(y, pred) == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1, 2], [1, 2, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])

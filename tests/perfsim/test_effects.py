@@ -1,0 +1,163 @@
+"""Unit tests for the individual placement-effect models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.perfsim.effects import (
+    cache_factor,
+    comm_latency_factor,
+    effective_working_set_per_l3,
+    l2_capacity_factor,
+    miss_fraction,
+    saturation_factor,
+    smt_factor,
+)
+
+
+class TestSmtFactor:
+    def test_no_sharing_is_neutral(self):
+        assert smt_factor(1, 2, 0.74, 0.0) == 1.0
+
+    def test_single_thread_groups_are_neutral(self):
+        assert smt_factor(1, 1, 0.74, -1.0) == 1.0
+
+    def test_full_sharing_applies_machine_efficiency(self):
+        assert smt_factor(2, 2, 0.74, 0.0) == pytest.approx(0.74)
+
+    def test_affinity_shifts_efficiency(self):
+        averse = smt_factor(2, 2, 0.74, -0.8)
+        friendly = smt_factor(2, 2, 0.74, 0.9)
+        assert averse < 0.74
+        assert friendly > 1.0  # the kmeans case: SMT actually helps
+
+    def test_efficiency_is_clamped(self):
+        assert smt_factor(2, 2, 0.9, 1.0) <= 1.15
+        assert smt_factor(2, 2, 0.4, -1.0) >= 0.30
+
+    def test_partial_sharing_interpolates(self):
+        partial = smt_factor(2, 4, 0.6, 0.0)
+        full = smt_factor(4, 4, 0.6, 0.0)
+        assert full < partial < 1.0
+
+
+class TestWorkingSetAndMisses:
+    def test_private_data_divides_across_caches(self):
+        assert effective_working_set_per_l3(100, 0.0, 4) == pytest.approx(25.0)
+
+    def test_shared_data_replicates(self):
+        assert effective_working_set_per_l3(100, 1.0, 4) == pytest.approx(100.0)
+
+    def test_mixture(self):
+        assert effective_working_set_per_l3(100, 0.5, 2) == pytest.approx(75.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            effective_working_set_per_l3(0, 0.5, 2)
+        with pytest.raises(ValueError):
+            effective_working_set_per_l3(10, 0.5, 0)
+
+    def test_fitting_working_set_has_no_misses(self):
+        assert miss_fraction(8.0, 8.0) == 0.0
+        assert miss_fraction(4.0, 8.0) == 0.0
+
+    def test_overflowing_working_set_misses(self):
+        assert miss_fraction(16.0, 8.0) == pytest.approx(0.5)
+        assert miss_fraction(80.0, 8.0) == pytest.approx(0.9)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            miss_fraction(10.0, 0.0)
+        with pytest.raises(ValueError):
+            miss_fraction(0.0, 8.0)
+
+    @given(
+        ws=st.floats(min_value=0.1, max_value=1e4),
+        size=st.floats(min_value=0.1, max_value=1e3),
+    )
+    def test_miss_fraction_in_unit_interval(self, ws, size):
+        assert 0.0 <= miss_fraction(ws, size) <= 1.0
+
+
+class TestCacheFactor:
+    def test_insensitive_workload_unaffected(self):
+        assert cache_factor(0.0, 1.0) == 1.0
+
+    def test_full_miss_full_sensitivity(self):
+        assert cache_factor(1.0, 1.0) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            cache_factor(1.5, 0.5)
+        with pytest.raises(ValueError):
+            cache_factor(0.5, -0.1)
+
+
+class TestSaturation:
+    def test_zero_demand_is_free(self):
+        assert saturation_factor(0.0, 100.0) == 1.0
+
+    def test_no_supply_blocks(self):
+        assert saturation_factor(10.0, 0.0) == 0.0
+
+    def test_light_load_is_nearly_free(self):
+        assert saturation_factor(10.0, 100.0) > 0.99
+
+    def test_heavy_load_approaches_supply_over_demand(self):
+        assert saturation_factor(400.0, 100.0) == pytest.approx(0.25, rel=0.05)
+
+    def test_monotone_in_demand(self):
+        values = [saturation_factor(d, 100.0) for d in (10, 50, 100, 200, 400)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            saturation_factor(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            saturation_factor(1.0, 10.0, sharpness=0.0)
+
+    @given(
+        demand=st.floats(min_value=0, max_value=1e6),
+        supply=st.floats(min_value=1e-3, max_value=1e6),
+    )
+    def test_factor_in_unit_interval(self, demand, supply):
+        assert 0.0 <= saturation_factor(demand, supply) <= 1.0
+
+
+class TestCommLatency:
+    def test_all_local_is_neutral(self):
+        assert comm_latency_factor(0.8, 0.8, 90.0, 90.0) == 1.0
+
+    def test_no_communication_is_neutral(self):
+        assert comm_latency_factor(0.0, 1.0, 300.0, 90.0) == 1.0
+
+    def test_remote_communication_costs(self):
+        assert comm_latency_factor(0.8, 0.8, 270.0, 90.0) < 0.5
+
+    def test_monotone_in_latency(self):
+        values = [
+            comm_latency_factor(0.5, 0.5, lat, 90.0)
+            for lat in (90, 150, 250, 400)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            comm_latency_factor(1.5, 0.5, 100.0, 90.0)
+        with pytest.raises(ValueError):
+            comm_latency_factor(0.5, 0.5, 50.0, 90.0)
+
+
+class TestL2Capacity:
+    def test_unshared_is_neutral(self):
+        assert l2_capacity_factor(10.0, 1, 2.0, 1.0) == 1.0
+
+    def test_small_working_set_barely_hurts(self):
+        assert l2_capacity_factor(0.01, 2, 2.0, 1.0) > 0.99
+
+    def test_pressure_saturates(self):
+        heavy = l2_capacity_factor(100.0, 2, 2.0, 1.0)
+        assert heavy == pytest.approx(0.94)
+
+    def test_rejects_bad_pressure(self):
+        with pytest.raises(ValueError):
+            l2_capacity_factor(1.0, 2, 2.0, 0.0)

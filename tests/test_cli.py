@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_machines_lists_presets(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "amd-opteron-6272" in out
+        assert "intel-xeon-e7-4830-v3" in out
+
+    def test_concerns(self, capsys):
+        assert main(["concerns", "--machine", "amd"]) == 0
+        out = capsys.readouterr().out
+        assert "interconnect" in out
+
+    def test_enumerate_default_vcpus(self, capsys):
+        assert main(["enumerate", "--machine", "amd"]) == 0
+        out = capsys.readouterr().out
+        assert "13 important placements" in out
+
+    def test_enumerate_custom_vcpus(self, capsys):
+        assert main(["enumerate", "--machine", "intel", "--vcpus", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "48 vCPUs" in out
+
+    def test_migrate_plan_single_workload(self, capsys):
+        assert main(["migrate-plan", "--workload", "WTbtree"]) == 0
+        out = capsys.readouterr().out
+        assert "WTbtree" in out
+        assert "throttled" in out
+
+    def test_migrate_plan_all_workloads(self, capsys):
+        assert main(["migrate-plan"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("->") == 18
+
+    def test_unknown_machine_exits(self):
+        with pytest.raises(SystemExit):
+            main(["enumerate", "--machine", "cray"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    @pytest.mark.slow
+    def test_predict_with_goal(self, capsys):
+        assert main(
+            ["predict", "--machine", "amd", "--workload", "gcc", "--goal", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "probed" in out
+        assert "cheapest placement meeting" in out or "no placement" in out

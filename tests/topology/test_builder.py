@@ -1,0 +1,75 @@
+"""Unit tests for the topology builder."""
+
+import pytest
+
+from repro.topology import TopologyBuilder
+
+
+def complete_builder():
+    return (
+        TopologyBuilder("built")
+        .nodes(2)
+        .l2_groups_per_node(4, threads_per_l2=2)
+        .dram_bandwidth(20_000)
+        .cache_sizes(l3_mb=16, l2_kb=512)
+        .symmetric_interconnect(bandwidth_mbps=8_000)
+    )
+
+
+class TestBuilder:
+    def test_builds_complete_machine(self):
+        machine = complete_builder().build()
+        assert machine.name == "built"
+        assert machine.total_threads == 16
+        assert machine.interconnect.is_symmetric
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            TopologyBuilder("")
+
+    def test_missing_pieces_are_reported(self):
+        with pytest.raises(ValueError) as excinfo:
+            TopologyBuilder("incomplete").nodes(2).build()
+        message = str(excinfo.value)
+        assert "l2_groups_per_node" in message
+        assert "dram_bandwidth" in message
+        assert "cache_sizes" in message
+        assert "interconnect" in message
+
+    def test_rejects_both_interconnect_kinds(self):
+        builder = complete_builder()
+        with pytest.raises(ValueError, match="already specified"):
+            builder.asymmetric_interconnect({(0, 1): 1000.0})
+
+    def test_asymmetric_links_are_used(self):
+        machine = (
+            TopologyBuilder("asym")
+            .nodes(3)
+            .l2_groups_per_node(2)
+            .dram_bandwidth(10_000)
+            .cache_sizes(l3_mb=8, l2_kb=256)
+            .asymmetric_interconnect({(0, 1): 4000.0, (1, 2): 1000.0, (0, 2): 1000.0})
+            .build()
+        )
+        assert not machine.interconnect.is_symmetric
+        assert machine.interconnect.bandwidth(0, 1) == 4000.0
+
+    def test_split_l3(self):
+        machine = (
+            TopologyBuilder("zen-ish")
+            .nodes(2)
+            .l2_groups_per_node(4)
+            .l3_groups_per_node(2)
+            .dram_bandwidth(10_000)
+            .cache_sizes(l3_mb=8, l2_kb=512)
+            .symmetric_interconnect(bandwidth_mbps=8_000)
+            .build()
+        )
+        assert machine.l3_count == 4
+
+    def test_latencies_are_applied(self):
+        machine = (
+            complete_builder().latencies(local_ns=50, per_hop_ns=75).build()
+        )
+        assert machine.interconnect.local_latency_ns == 50
+        assert machine.interconnect.hop_latency_ns == 75

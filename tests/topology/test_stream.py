@@ -1,0 +1,61 @@
+"""Unit tests for the STREAM-like bandwidth probe."""
+
+import pytest
+
+from repro.topology import StreamProbe, amd_opteron_6272, build_bandwidth_table
+
+
+@pytest.fixture(scope="module")
+def amd():
+    return amd_opteron_6272()
+
+
+class TestProbe:
+    def test_noise_free_measurement_matches_model(self, amd):
+        probe = StreamProbe(amd, noise=0.0)
+        expected = amd.interconnect.aggregate_bandwidth([2, 3, 4, 5])
+        assert probe.measure([2, 3, 4, 5]) == expected
+
+    def test_measurement_with_noise_is_close(self, amd):
+        probe = StreamProbe(amd, noise=0.02, repetitions=5, seed=7)
+        true_value = amd.interconnect.aggregate_bandwidth([0, 1])
+        measured = probe.measure([0, 1])
+        assert measured == pytest.approx(true_value, rel=0.1)
+        assert measured != true_value
+
+    def test_measurement_is_deterministic_per_seed(self, amd):
+        a = StreamProbe(amd, noise=0.05, seed=3).measure([0, 1, 2])
+        b = StreamProbe(amd, noise=0.05, seed=3).measure([0, 1, 2])
+        assert a == b
+
+    def test_empty_combination_rejected(self, amd):
+        with pytest.raises(ValueError):
+            StreamProbe(amd).measure([])
+
+    def test_rejects_negative_noise(self, amd):
+        with pytest.raises(ValueError):
+            StreamProbe(amd, noise=-0.1)
+
+
+class TestAllCombinations:
+    def test_counts_all_nonempty_subsets(self, amd):
+        table = StreamProbe(amd).measure_all_combinations()
+        assert len(table) == 2**8 - 1
+
+    def test_size_filter(self, amd):
+        table = StreamProbe(amd).measure_all_combinations(min_size=2, max_size=2)
+        assert len(table) == 28
+        assert all(len(key) == 2 for key in table)
+
+    def test_invalid_range_rejected(self, amd):
+        with pytest.raises(ValueError):
+            StreamProbe(amd).measure_all_combinations(min_size=3, max_size=2)
+
+
+class TestBandwidthTable:
+    def test_build_bandwidth_table_sizes(self, amd):
+        table = build_bandwidth_table(amd, sizes=[2, 4])
+        assert len(table) == 28 + 70
+
+    def test_full_table_by_default(self, amd):
+        assert len(build_bandwidth_table(amd)) == 255

@@ -1,0 +1,89 @@
+"""Unit and property tests for the sysfs-style serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology import (
+    amd_opteron_6272,
+    intel_xeon_e7_4830_v3,
+    amd_epyc_zen,
+    machine_from_sysfs,
+    machine_to_sysfs,
+)
+from repro.topology.sysfs import (
+    format_cpulist,
+    parse_cpulist,
+    read_sysfs_tree,
+    write_sysfs_tree,
+)
+
+
+class TestCpulist:
+    def test_format_examples(self):
+        assert format_cpulist([0, 1, 2, 3]) == "0-3"
+        assert format_cpulist([0, 2, 3, 4, 8]) == "0,2-4,8"
+        assert format_cpulist([5]) == "5"
+        assert format_cpulist([]) == ""
+
+    def test_parse_examples(self):
+        assert parse_cpulist("0-3") == [0, 1, 2, 3]
+        assert parse_cpulist("0,2-4,8") == [0, 2, 3, 4, 8]
+        assert parse_cpulist("") == []
+
+    def test_parse_rejects_reversed_range(self):
+        with pytest.raises(ValueError):
+            parse_cpulist("5-2")
+
+    @given(st.sets(st.integers(min_value=0, max_value=300), max_size=60))
+    def test_round_trip(self, cpus):
+        assert parse_cpulist(format_cpulist(cpus)) == sorted(cpus)
+
+
+@pytest.mark.parametrize(
+    "factory", [amd_opteron_6272, intel_xeon_e7_4830_v3, amd_epyc_zen]
+)
+class TestMachineRoundTrip:
+    def test_round_trip_preserves_shape(self, factory):
+        machine = factory()
+        rebuilt = machine_from_sysfs(machine_to_sysfs(machine))
+        assert rebuilt.name == machine.name
+        assert rebuilt.n_nodes == machine.n_nodes
+        assert rebuilt.l2_groups_per_node == machine.l2_groups_per_node
+        assert rebuilt.threads_per_l2 == machine.threads_per_l2
+        assert rebuilt.l3_groups_per_node == machine.l3_groups_per_node
+        assert rebuilt.dram_bandwidth_mbps == machine.dram_bandwidth_mbps
+        assert rebuilt.l3_size_mb == machine.l3_size_mb
+        assert rebuilt.l2_size_kb == machine.l2_size_kb
+
+    def test_round_trip_preserves_interconnect(self, factory):
+        machine = factory()
+        rebuilt = machine_from_sysfs(machine_to_sysfs(machine))
+        assert rebuilt.interconnect.links == machine.interconnect.links
+        assert (
+            rebuilt.interconnect.local_latency_ns
+            == machine.interconnect.local_latency_ns
+        )
+
+
+class TestSysfsContents:
+    def test_standard_paths_present(self):
+        tree = machine_to_sysfs(intel_xeon_e7_4830_v3())
+        assert tree["devices/system/node/online"] == "0-3"
+        assert tree["devices/system/cpu/online"] == "0-95"
+        assert tree["devices/system/cpu/cpu0/cache/index2/shared_cpu_list"] == "0-1"
+        assert tree["devices/system/cpu/cpu0/cache/index3/shared_cpu_list"] == "0-23"
+
+    def test_missing_key_raises_value_error(self):
+        with pytest.raises(ValueError, match="missing"):
+            machine_from_sysfs({})
+
+
+class TestDirectoryTree:
+    def test_write_then_read(self, tmp_path):
+        machine = amd_opteron_6272()
+        write_sysfs_tree(machine, str(tmp_path))
+        rebuilt = read_sysfs_tree(str(tmp_path))
+        assert rebuilt.name == machine.name
+        assert rebuilt.interconnect.links == machine.interconnect.links
+        # Spot-check that the layout looks like sysfs.
+        assert (tmp_path / "devices/system/node/node0/cpulist").exists()
