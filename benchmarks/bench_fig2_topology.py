@@ -3,7 +3,6 @@ concern layer consumes (the per-combination STREAM table of Section 4)."""
 
 from __future__ import annotations
 
-import itertools
 
 from repro.topology import build_bandwidth_table
 

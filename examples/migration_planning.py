@@ -13,10 +13,7 @@ Run:  python examples/migration_planning.py
 
 from repro.migration import (
     ContainerMemory,
-    DefaultLinuxMigrator,
-    FastMigrator,
     MigrationPlanner,
-    ThrottledMigrator,
 )
 from repro.perfsim import paper_workloads
 

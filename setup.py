@@ -1,9 +1,12 @@
-"""Setup shim.
+"""Setup shim for legacy installers.
 
-The canonical project metadata lives in ``pyproject.toml``.  This file exists
-so that ``pip install -e .`` works in offline environments without the
-``wheel`` package (pip falls back to ``setup.py develop`` with
-``--no-use-pep517``).
+The canonical project metadata lives in ``pyproject.toml`` (PEP 621),
+including the ``src/`` layout declaration (``[tool.setuptools]``
+``package-dir`` + ``packages.find``), so ``pip install -e .`` works
+without the ``PYTHONPATH=src`` hack.  This file exists only so that pip
+can fall back to ``setup.py develop`` in offline environments without the
+``wheel`` package; it intentionally declares nothing that pyproject.toml
+already does.
 """
 
 from setuptools import setup

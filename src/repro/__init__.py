@@ -19,6 +19,9 @@ The library is organized one subpackage per subsystem:
 * :mod:`repro.migration` — container memory-migration engines and cost
   models (Table 2), plus the online-vs-offline planner.
 * :mod:`repro.containers` — virtual containers and the simulated host.
+* :mod:`repro.scheduler` — the fleet layer: request streams, simulated
+  host fleets, pluggable placement policies (first-fit, spread, goal-aware
+  ML), and the batched/memoized fleet scheduler.
 * :mod:`repro.experiments` — the canonical trained configurations shared
   by benchmarks and examples.
 * :mod:`repro.cli` — ``python -m repro`` command-line front-end.
@@ -50,9 +53,21 @@ from repro.core import (
     ScoreVector,
     important_placements,
     enumerate_important_placements,
+    cached_enumerate_important_placements,
+    EnumerationCache,
     PlacementModel,
     HpeModel,
     PlacementScheduler,
+)
+from repro.scheduler import (
+    Fleet,
+    FleetScheduler,
+    FirstFitFleetPolicy,
+    SpreadFleetPolicy,
+    GoalAwareFleetPolicy,
+    ModelRegistry,
+    PlacementRequest,
+    generate_request_stream,
 )
 
 __version__ = "1.0.0"
@@ -74,8 +89,18 @@ __all__ = [
     "ScoreVector",
     "important_placements",
     "enumerate_important_placements",
+    "cached_enumerate_important_placements",
+    "EnumerationCache",
     "PlacementModel",
     "HpeModel",
     "PlacementScheduler",
+    "Fleet",
+    "FleetScheduler",
+    "FirstFitFleetPolicy",
+    "SpreadFleetPolicy",
+    "GoalAwareFleetPolicy",
+    "ModelRegistry",
+    "PlacementRequest",
+    "generate_request_stream",
     "__version__",
 ]

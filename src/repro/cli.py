@@ -9,7 +9,9 @@ Subcommands mirror the paper's steps:
   performance vector from two probe observations;
 * ``policies`` — run the Figure-5 packing comparison for one workload;
 * ``migrate-plan`` — price the migration of a workload and recommend a
-  mechanism (Table 2 / Section 7).
+  mechanism (Table 2 / Section 7);
+* ``schedule`` — place a stream of heterogeneous container requests across
+  a simulated fleet and print the fleet report (the scheduler subsystem).
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -18,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 from repro.core import (
     AggressivePolicy,
@@ -153,6 +155,69 @@ def cmd_policies(args) -> int:
     return 0
 
 
+def cmd_schedule(args) -> int:
+    from repro.scheduler import (
+        FirstFitFleetPolicy,
+        Fleet,
+        FleetScheduler,
+        GoalAwareFleetPolicy,
+        ModelRegistry,
+        SpreadFleetPolicy,
+        generate_request_stream,
+    )
+
+    try:
+        vcpus_choices = tuple(
+            int(v) for v in args.vcpus.split(",") if v.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"--vcpus must be a comma-separated int list, got {args.vcpus!r}")
+    if not vcpus_choices:
+        raise SystemExit("--vcpus must name at least one container size")
+    if any(v < 1 for v in vcpus_choices):
+        raise SystemExit("--vcpus sizes must be >= 1")
+    if args.hosts < 1:
+        raise SystemExit("--hosts must be >= 1")
+    if args.requests < 1:
+        raise SystemExit("--requests must be >= 1")
+    if args.batch_size < 1:
+        raise SystemExit("--batch-size must be >= 1")
+    if args.trace < 0:
+        raise SystemExit("--trace must be >= 0")
+
+    if args.machine == "mixed":
+        half = args.hosts // 2
+        fleet = Fleet.mixed(
+            [(_machine("amd"), args.hosts - half), (_machine("intel"), half)]
+        )
+    else:
+        fleet = Fleet.homogeneous(_machine(args.machine), args.hosts)
+
+    requests = generate_request_stream(
+        args.requests, seed=args.seed, vcpus_choices=vcpus_choices
+    )
+    registry = ModelRegistry(seed=args.seed, memoize_enumeration=not args.naive)
+    if args.policy == "ml":
+        policy = GoalAwareFleetPolicy(registry)
+    elif args.policy == "first-fit":
+        policy = FirstFitFleetPolicy()
+    else:
+        policy = SpreadFleetPolicy()
+    scheduler = FleetScheduler(
+        fleet,
+        policy,
+        registry=registry,
+        batch_size=1 if args.naive else args.batch_size,
+    )
+    report = scheduler.run(requests)
+    print(report.describe())
+    if args.trace:
+        print()
+        for graded in report.decisions[: args.trace]:
+            print(f"  {graded.describe()}")
+    return 0
+
+
 def cmd_migrate_plan(args) -> int:
     planner = MigrationPlanner()
     workloads = (
@@ -202,6 +267,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("migrate-plan", help="price container migration")
     p.add_argument("--workload", default=None)
     p.set_defaults(func=cmd_migrate_plan)
+
+    p = sub.add_parser(
+        "schedule", help="place a request stream across a simulated fleet"
+    )
+    p.add_argument(
+        "--machine",
+        default="amd",
+        choices=sorted(MACHINES) + ["mixed"],
+        help="host shape, or 'mixed' for a half-AMD/half-Intel fleet",
+    )
+    p.add_argument("--hosts", type=int, default=128)
+    p.add_argument("--requests", type=int, default=500)
+    p.add_argument(
+        "--policy", default="ml", choices=["ml", "first-fit", "spread"]
+    )
+    p.add_argument(
+        "--vcpus",
+        default="8,16",
+        help="comma-separated container sizes to sample (default 8,16)",
+    )
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--naive",
+        action="store_true",
+        help="disable the enumeration memo cache and batched prediction "
+        "(the per-request baseline the benchmark compares against)",
+    )
+    p.add_argument(
+        "--trace",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the first N per-request decision traces",
+    )
+    p.set_defaults(func=cmd_schedule)
 
     return parser
 

@@ -23,6 +23,12 @@ from repro.core.enumeration import (
     important_placements,
     pareto_filter_packings,
 )
+from repro.core.memo import (
+    DEFAULT_ENUMERATION_CACHE,
+    CacheInfo,
+    EnumerationCache,
+    cached_enumerate_important_placements,
+)
 from repro.core.model import HpeModel, ModelEvaluation, PlacementModel
 from repro.core.training import (
     FoldResult,
@@ -89,6 +95,10 @@ __all__ = [
     "Placement",
     "ImportantPlacementSet",
     "Packing",
+    "CacheInfo",
+    "EnumerationCache",
+    "DEFAULT_ENUMERATION_CACHE",
+    "cached_enumerate_important_placements",
     "enumerate_important_placements",
     "generate_scores",
     "gen_packings",

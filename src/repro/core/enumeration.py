@@ -29,13 +29,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
-from repro.core.concerns import (
-    BandwidthConcern,
-    ConcernSet,
-    CountingConcern,
-    ScoreVector,
-    concerns_for,
-)
+from repro.core.concerns import ConcernSet, ScoreVector, concerns_for
 from repro.core.placements import Placement
 from repro.topology.machine import MachineTopology
 

@@ -24,10 +24,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Set
 
 import networkx as nx
-import numpy as np
 
 from repro.core.placements import Placement
 from repro.core.policies import MlPolicy

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -233,12 +233,33 @@ class PlacementModel:
         X = _pair_features(np.array([perf_i]), np.array([perf_j]))
         return self._forest.predict(X)[0]
 
+    def predict_batch(
+        self, perf_i: np.ndarray, perf_j: np.ndarray
+    ) -> np.ndarray:
+        """Predicted vectors for many containers in one vectorized call.
+
+        ``perf_i``/``perf_j`` are aligned arrays of the measured metric in
+        the input pair's placements, one entry per container; the result has
+        one row per container and is bit-for-bit identical to stacking the
+        corresponding single :meth:`predict` calls — the whole batch goes
+        through the forest as one matrix (the fleet scheduler's hot path).
+        """
+        if self._forest is None:
+            raise RuntimeError("predict_batch() called before fit()")
+        perf_i = np.atleast_1d(np.asarray(perf_i, dtype=float))
+        perf_j = np.atleast_1d(np.asarray(perf_j, dtype=float))
+        if perf_i.shape != perf_j.shape or perf_i.ndim != 1:
+            raise ValueError(
+                f"perf_i and perf_j must be equal-length 1-d arrays, got "
+                f"shapes {perf_i.shape} and {perf_j.shape}"
+            )
+        return self._forest.predict(_pair_features(perf_i, perf_j))
+
     def predict_many(
         self, perf_i: np.ndarray, perf_j: np.ndarray
     ) -> np.ndarray:
-        if self._forest is None:
-            raise RuntimeError("predict_many() called before fit()")
-        return self._forest.predict(_pair_features(perf_i, perf_j))
+        """Backwards-compatible alias of :meth:`predict_batch`."""
+        return self.predict_batch(perf_i, perf_j)
 
     # Evaluation interface (leave_one_workload_out) ---------------------
 

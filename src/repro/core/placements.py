@@ -19,7 +19,7 @@ yield identical performance"), so the deterministic choice loses nothing.
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.topology.machine import MachineTopology
 

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import abc
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ machine:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from repro.containers.host import SimulatedHost
 from repro.core.enumeration import ImportantPlacementSet
 from repro.core.model import PlacementModel
 from repro.core.placements import Placement
-from repro.migration.memory import ContainerMemory
 from repro.migration.planner import MigrationAdvice, MigrationPlanner
 
 

@@ -12,7 +12,7 @@ spark-pr-lj may inform a Spark prediction) — during training.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
@@ -20,7 +20,6 @@ from repro.core.enumeration import (
     ImportantPlacementSet,
     enumerate_important_placements,
 )
-from repro.ml.validation import LeaveOneGroupOut
 from repro.perfsim.hpe import HpeMonitor
 from repro.perfsim.simulator import PerformanceSimulator
 from repro.perfsim.workload import WorkloadProfile

@@ -93,6 +93,15 @@ class RandomForestRegressor:
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Forest mean over all rows of ``X`` at once.
+
+        Each tree evaluates the whole batch in one vectorized pass, so this
+        is the batched prediction path: calling it with N rows is far
+        cheaper than N single-row calls, and — because every tree resolves
+        each row to the same leaf either way, and the mean reduces over the
+        tree axis in a batch-size-independent order — the results are
+        bit-for-bit identical to the single-row ones.
+        """
         if not self.trees_:
             raise RuntimeError("predict() called before fit()")
         predictions = [tree.predict(X) for tree in self.trees_]

@@ -14,7 +14,7 @@ the exhaustive input-pair search (``pair_search="halving"``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generic, List, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Generic, List, Sequence, TypeVar
 
 Candidate = TypeVar("Candidate")
 

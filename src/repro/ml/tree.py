@@ -95,6 +95,7 @@ class DecisionTreeRegressor:
         self._n_features: int = 0
         self._n_outputs: int = 0
         self._y_was_1d: bool = False
+        self._flat: tuple | None = None
         self.feature_importances_: np.ndarray | None = None
 
     # ------------------------------------------------------------------
@@ -138,6 +139,7 @@ class DecisionTreeRegressor:
         self._importances = np.zeros(self._n_features)
         self._total_samples = len(X)
         self._root = self._build(X, Y, depth=0)
+        self._flat = None
         total = self._importances.sum()
         self.feature_importances_ = (
             self._importances / total if total > 0 else self._importances
@@ -223,7 +225,44 @@ class DecisionTreeRegressor:
 
     # ------------------------------------------------------------------
 
+    def _compile(self) -> tuple:
+        """Flatten the node graph into parallel arrays for vectorized
+        evaluation.  Built lazily on the first predict() and kept for the
+        tree's lifetime; the arrays carry the leaf values verbatim, so the
+        flattened evaluation is bit-for-bit identical to walking the graph.
+        """
+        assert self._root is not None
+        nodes: List[_Node] = []
+        stack = [self._root]
+        index = {}
+        while stack:
+            node = stack.pop()
+            index[id(node)] = len(nodes)
+            nodes.append(node)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.append(node.right)
+                stack.append(node.left)
+        n = len(nodes)
+        feature = np.full(n, -1, dtype=np.intp)
+        threshold = np.zeros(n, dtype=float)
+        left = np.zeros(n, dtype=np.intp)
+        right = np.zeros(n, dtype=np.intp)
+        values = np.empty((n, self._n_outputs), dtype=float)
+        for i, node in enumerate(nodes):
+            values[i] = node.value
+            if not node.is_leaf:
+                feature[i] = node.feature
+                threshold[i] = node.threshold
+                left[i] = index[id(node.left)]
+                right[i] = index[id(node.right)]
+        self._flat = (feature, threshold, left, right, values)
+        return self._flat
+
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized prediction: all rows descend the flattened tree in
+        lock-step, one numpy pass per tree level instead of a Python loop
+        per sample (the hot path of batched fleet prediction)."""
         if self._root is None:
             raise RuntimeError("predict() called before fit()")
         X = np.asarray(X, dtype=float)
@@ -234,12 +273,15 @@ class DecisionTreeRegressor:
                 f"X has {X.shape[1]} features, tree was fit on "
                 f"{self._n_features}"
             )
-        out = np.empty((len(X), self._n_outputs))
-        for i, row in enumerate(X):
-            node = self._root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.value
+        feature, threshold, left, right, values = self._flat or self._compile()
+        position = np.zeros(len(X), dtype=np.intp)
+        rows = np.nonzero(feature[position] >= 0)[0]
+        while len(rows):
+            at = position[rows]
+            go_left = X[rows, feature[at]] <= threshold[at]
+            position[rows] = np.where(go_left, left[at], right[at])
+            rows = rows[feature[position[rows]] >= 0]
+        out = values[position]
         return out[:, 0] if self._y_was_1d else out
 
     @property

@@ -1,0 +1,55 @@
+"""Fleet-scale placement scheduling (the paper's Section 7 writ large).
+
+The single-machine pipeline — concerns, important placements, the
+two-observation model — becomes the decision kernel of a cluster
+scheduler: a stream of heterogeneous container requests is placed across
+many simulated hosts under pluggable fleet policies, with per-request
+decision traces and fleet-level utilization/violation reporting.
+
+The subsystem exists to exercise the two scale optimizations it ships
+with: the topology-fingerprint memo cache around placement enumeration
+(:mod:`repro.core.memo`) and the batched prediction path
+(:meth:`repro.core.model.PlacementModel.predict_batch`), which together
+turn a per-request cost into a per-machine-shape cost.
+"""
+
+from repro.scheduler.fleet import (
+    Fleet,
+    FleetHost,
+    minimal_l2_share,
+    minimal_node_count,
+    minimal_shape,
+)
+from repro.scheduler.policies import (
+    FirstFitFleetPolicy,
+    FleetDecision,
+    FleetPolicy,
+    GoalAwareFleetPolicy,
+    SpreadFleetPolicy,
+)
+from repro.scheduler.registry import ModelRegistry
+from repro.scheduler.requests import PlacementRequest, generate_request_stream
+from repro.scheduler.scheduler import (
+    FleetReport,
+    FleetScheduler,
+    GradedDecision,
+)
+
+__all__ = [
+    "Fleet",
+    "FleetHost",
+    "FleetDecision",
+    "FleetPolicy",
+    "FirstFitFleetPolicy",
+    "SpreadFleetPolicy",
+    "GoalAwareFleetPolicy",
+    "minimal_node_count",
+    "minimal_l2_share",
+    "minimal_shape",
+    "ModelRegistry",
+    "PlacementRequest",
+    "generate_request_stream",
+    "FleetReport",
+    "FleetScheduler",
+    "GradedDecision",
+]

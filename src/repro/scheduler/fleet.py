@@ -1,0 +1,254 @@
+"""The fleet: many simulated hosts with node-granular capacity accounting.
+
+A :class:`FleetHost` wraps one machine shape and tracks which NUMA nodes
+are still free.  Placements claim whole nodes — the packing discipline the
+paper's ML policy establishes on a single machine (disjoint node blocks, so
+co-located containers never share caches or memory controllers) lifted to
+the fleet.  Utilization is therefore reported two ways: *threads in use by
+vCPUs* (what the customer pays for) and *nodes reserved* (what the operator
+gave up).
+
+Hosts of the same shape share one :class:`MachineTopology` instance, which
+is what makes the topology-fingerprint memo cache effective: a thousand
+hosts of two shapes cost two enumerations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.placements import Placement
+from repro.topology.machine import MachineTopology
+
+#: Scores a candidate node block (higher = better interconnect bandwidth).
+BlockScorer = Callable[[FrozenSet[int]], float]
+
+
+def minimal_l2_share(machine: MachineTopology, per_node_vcpus: int) -> int:
+    """Smallest L2 sharing degree that fits ``per_node_vcpus`` in a node."""
+    for share in range(1, machine.threads_per_l2 + 1):
+        if per_node_vcpus % share:
+            continue
+        if per_node_vcpus // share <= machine.l2_groups_per_node:
+            return share
+    raise ValueError(
+        f"{per_node_vcpus} vCPUs per node do not fit {machine.name}'s "
+        f"L2 groups in any balanced way"
+    )
+
+
+def minimal_shape(machine: MachineTopology, vcpus: int) -> Tuple[int, int]:
+    """The cheapest realizable balanced shape: ``(node count, l2_share)``
+    with the fewest nodes.
+
+    A node count that divides the vCPUs evenly is not enough on its own —
+    the per-node share must also split evenly over L2 groups (e.g. 10 vCPUs
+    on a 4-L2-group node cannot balance on 2 nodes but can on 5), so the
+    search advances to the next node count when the L2 constraint fails.
+    """
+    for n in range(1, machine.n_nodes + 1):
+        if vcpus % n or vcpus // n > machine.threads_per_node:
+            continue
+        try:
+            return n, minimal_l2_share(machine, vcpus // n)
+        except ValueError:
+            continue
+    raise ValueError(f"{vcpus} vCPUs cannot be balanced on {machine.name}")
+
+
+def minimal_node_count(machine: MachineTopology, vcpus: int) -> int:
+    """Fewest nodes a balanced placement of ``vcpus`` can use."""
+    return minimal_shape(machine, vcpus)[0]
+
+
+class FleetHost:
+    """One machine in the fleet, with free-node bookkeeping."""
+
+    def __init__(self, host_id: int, machine: MachineTopology) -> None:
+        self.host_id = host_id
+        self.machine = machine
+        self._free_nodes: set = set(machine.nodes)
+        self._placements: Dict[int, Placement] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def free_nodes(self) -> FrozenSet[int]:
+        return frozenset(self._free_nodes)
+
+    @property
+    def n_free_nodes(self) -> int:
+        return len(self._free_nodes)
+
+    @property
+    def placements(self) -> Dict[int, Placement]:
+        """Request id -> placement for every container on this host."""
+        return dict(self._placements)
+
+    @property
+    def used_threads(self) -> int:
+        return sum(p.vcpus for p in self._placements.values())
+
+    @property
+    def thread_utilization(self) -> float:
+        return self.used_threads / self.machine.total_threads
+
+    @property
+    def node_utilization(self) -> float:
+        return 1.0 - len(self._free_nodes) / self.machine.n_nodes
+
+    # ------------------------------------------------------------------
+    # Block search and allocation
+    # ------------------------------------------------------------------
+
+    def find_block(
+        self,
+        size: int,
+        scorer: BlockScorer,
+        *,
+        target_score: float | None = None,
+    ) -> Tuple[int, ...] | None:
+        """A free node block of ``size`` nodes.
+
+        With a ``target_score`` the block must match that interconnect
+        score (rounded, as everywhere in the enumeration) — that is how a
+        concrete block is found for an important placement chosen on score
+        alone.  Without one, the best-scoring free block wins (the
+        Smart-Aggressive rule: highest interconnect bandwidth).
+        """
+        if size < 1:
+            raise ValueError("block size must be >= 1")
+        if size > len(self._free_nodes):
+            return None
+        free = sorted(self._free_nodes)
+        best: Tuple[int, ...] | None = None
+        best_score = float("-inf")
+        for combo in itertools.combinations(free, size):
+            score = scorer(frozenset(combo))
+            if target_score is not None:
+                if round(score, 3) == round(target_score, 3):
+                    return combo
+                continue
+            if score > best_score:
+                best_score = score
+                best = combo
+        return best
+
+    def allocate(self, request_id: int, placement: Placement) -> None:
+        """Claim the placement's nodes for a request."""
+        if request_id in self._placements:
+            raise ValueError(f"request {request_id} is already on host")
+        nodes = set(placement.nodes)
+        if not nodes <= self._free_nodes:
+            taken = sorted(nodes - self._free_nodes)
+            raise ValueError(f"nodes {taken} are not free on host {self.host_id}")
+        self._free_nodes -= nodes
+        self._placements[request_id] = placement
+
+    def release(self, request_id: int) -> Placement:
+        """Return a departed container's nodes to the free pool."""
+        placement = self._placements.pop(request_id, None)
+        if placement is None:
+            raise KeyError(f"request {request_id} is not on host {self.host_id}")
+        self._free_nodes |= set(placement.nodes)
+        return placement
+
+
+class Fleet:
+    """An ordered collection of hosts, possibly of mixed machine shapes.
+
+    Parameters
+    ----------
+    machines:
+        One entry per host.  Pass the *same* topology object for same-shape
+        hosts (see :meth:`homogeneous` / :meth:`mixed`); structurally equal
+        but distinct objects still work — the enumeration cache keys on the
+        fingerprint, not the object.
+    """
+
+    def __init__(self, machines: Sequence[MachineTopology]) -> None:
+        if not machines:
+            raise ValueError("a fleet needs at least one host")
+        self.hosts: List[FleetHost] = [
+            FleetHost(host_id, machine)
+            for host_id, machine in enumerate(machines)
+        ]
+
+    @classmethod
+    def homogeneous(cls, machine: MachineTopology, n_hosts: int) -> "Fleet":
+        if n_hosts < 1:
+            raise ValueError("n_hosts must be >= 1")
+        return cls([machine] * n_hosts)
+
+    @classmethod
+    def mixed(
+        cls, shapes: Sequence[Tuple[MachineTopology, int]]
+    ) -> "Fleet":
+        """A fleet from (machine shape, host count) pairs, interleaved so
+        every scan order sees all shapes early."""
+        rows = [
+            [machine] * count
+            for machine, count in shapes
+            if count > 0
+        ]
+        if not rows:
+            raise ValueError("a fleet needs at least one host")
+        machines = [
+            machine
+            for batch in itertools.zip_longest(*rows)
+            for machine in batch
+            if machine is not None
+        ]
+        return cls(machines)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def __iter__(self) -> Iterable[FleetHost]:
+        return iter(self.hosts)
+
+    @property
+    def shapes(self) -> List[MachineTopology]:
+        """The distinct machine shapes present, in first-seen order."""
+        seen: Dict[Tuple, MachineTopology] = {}
+        for host in self.hosts:
+            seen.setdefault(host.machine.fingerprint(), host.machine)
+        return list(seen.values())
+
+    def hosts_by_load(self) -> List[FleetHost]:
+        """Hosts sorted emptiest-first (the spread policy's scan order)."""
+        return sorted(
+            self.hosts,
+            key=lambda h: (h.node_utilization, h.thread_utilization, h.host_id),
+        )
+
+    @property
+    def total_threads(self) -> int:
+        return sum(host.machine.total_threads for host in self.hosts)
+
+    @property
+    def used_threads(self) -> int:
+        return sum(host.used_threads for host in self.hosts)
+
+    @property
+    def thread_utilization(self) -> float:
+        return self.used_threads / self.total_threads
+
+    @property
+    def node_utilization(self) -> float:
+        total = sum(host.machine.n_nodes for host in self.hosts)
+        free = sum(host.n_free_nodes for host in self.hosts)
+        return 1.0 - free / total
+
+    def utilization_summary(self) -> str:
+        per_host = [host.thread_utilization for host in self.hosts]
+        return (
+            f"threads {self.thread_utilization:.1%} "
+            f"(busiest host {max(per_host):.1%}, idlest {min(per_host):.1%}), "
+            f"nodes reserved {self.node_utilization:.1%}"
+        )

@@ -1,0 +1,374 @@
+"""Fleet placement policies: who gets which nodes of which host.
+
+Three pluggable policies, spanning the spectrum the paper's Section 7
+studies on one machine:
+
+* :class:`FirstFitFleetPolicy` — classic bin-packing: scan hosts in id
+  order, take the first that has a minimum-size free node block.  Densest
+  packing, no performance awareness.
+* :class:`SpreadFleetPolicy` — load-balanced: same block choice, but scan
+  hosts emptiest-first, so containers land away from each other for as long
+  as the fleet allows.
+* :class:`GoalAwareFleetPolicy` — the paper's ML policy at fleet scale:
+  probe each container in the model's two input placements, predict its
+  whole performance vector in one batched call, pick the cheapest important
+  placement predicted to meet its goal, then find a host with a free node
+  block matching that placement's interconnect score.
+
+Policies mutate the fleet (they allocate as they decide — later requests in
+a batch must see earlier allocations) and return one
+:class:`FleetDecision` per request, in request order.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.enumeration import ImportantPlacementSet
+from repro.core.placements import Placement
+from repro.scheduler.fleet import Fleet, FleetHost, minimal_shape
+from repro.scheduler.registry import ModelRegistry
+from repro.scheduler.requests import PlacementRequest
+from repro.topology.machine import MachineTopology
+
+
+@dataclass
+class FleetDecision:
+    """What the fleet did with one request."""
+
+    request: PlacementRequest
+    host_id: int | None = None
+    placement: Placement | None = None
+    #: 1-based important-placement id the realized placement instantiates
+    #: (None for the heuristic policies, which do not enumerate).
+    placement_id: int | None = None
+    #: Predicted performance relative to the shape's baseline placement.
+    predicted_relative: float | None = None
+    #: False when no free block matched the chosen placement's interconnect
+    #: score and a differently-scored block of the same size was used.
+    block_exact: bool = True
+    reject_reason: str | None = None
+
+    @property
+    def placed(self) -> bool:
+        return self.placement is not None
+
+    def describe(self) -> str:
+        if not self.placed:
+            return f"{self.request.describe()} -> REJECTED ({self.reject_reason})"
+        parts = [f"host {self.host_id}", f"nodes {list(self.placement.nodes)}"]
+        if self.placement_id is not None:
+            parts.insert(1, f"placement #{self.placement_id}")
+        if self.predicted_relative is not None:
+            parts.append(f"predicted {self.predicted_relative:.2f}")
+        if not self.block_exact:
+            parts.append("score-mismatched block")
+        return f"{self.request.describe()} -> {', '.join(parts)}"
+
+
+class FleetPolicy(abc.ABC):
+    """Decides, and immediately allocates, one batch of requests."""
+
+    name: str
+
+    @abc.abstractmethod
+    def decide_batch(
+        self, requests: Sequence[PlacementRequest], fleet: Fleet
+    ) -> List[FleetDecision]:
+        """One decision per request, in order; placed requests are already
+        allocated on their host when this returns."""
+
+
+class _HeuristicFleetPolicy(FleetPolicy):
+    """Shared machinery of the model-free policies."""
+
+    def decide_batch(self, requests, fleet):
+        return [self._decide_one(request, fleet) for request in requests]
+
+    def _decide_one(
+        self, request: PlacementRequest, fleet: Fleet
+    ) -> FleetDecision:
+        feasible_anywhere = False
+        for host in self._scan_order(fleet):
+            machine = host.machine
+            try:
+                n_nodes, l2_share = minimal_shape(machine, request.vcpus)
+            except ValueError:
+                continue
+            feasible_anywhere = True
+            block = host.find_block(
+                n_nodes,
+                lambda nodes: machine.interconnect.aggregate_bandwidth(nodes),
+            )
+            if block is None:
+                continue
+            placement = Placement(
+                machine, block, request.vcpus, l2_share=l2_share
+            )
+            host.allocate(request.request_id, placement)
+            return FleetDecision(
+                request, host_id=host.host_id, placement=placement
+            )
+        reason = "capacity" if feasible_anywhere else "infeasible"
+        return FleetDecision(request, reject_reason=reason)
+
+    @abc.abstractmethod
+    def _scan_order(self, fleet: Fleet) -> Sequence[FleetHost]: ...
+
+
+class FirstFitFleetPolicy(_HeuristicFleetPolicy):
+    """Bin-packing: first host (in id order) with a minimum free block."""
+
+    name = "first-fit"
+
+    def _scan_order(self, fleet):
+        return fleet.hosts
+
+
+class SpreadFleetPolicy(_HeuristicFleetPolicy):
+    """Load balancing: emptiest host first."""
+
+    name = "spread"
+
+    def _scan_order(self, fleet):
+        return fleet.hosts_by_load()
+
+
+class GoalAwareFleetPolicy(FleetPolicy):
+    """The paper's model-driven policy lifted to the fleet.
+
+    All requests of a batch that share a (machine shape, vCPU count) key
+    are predicted together through
+    :meth:`~repro.core.model.PlacementModel.predict_batch`, and the
+    important placements come from the registry's memo cache — the two hot
+    paths this subsystem optimizes.
+
+    Parameters
+    ----------
+    registry:
+        Source of per-shape placements, models, and simulators.
+    safety_margin:
+        Predictions must clear the goal by this fraction (headroom for
+        prediction error, as in :class:`repro.core.policies.MlPolicy`).
+    best_effort_slack:
+        For goal-less requests: any placement predicted within this
+        fraction of the best prediction is acceptable, and the cheapest
+        such placement wins.  1.0 reproduces the single-machine
+        scheduler's pure argmax; the default trades a little predicted
+        performance for much denser packing.
+    probe_duration_s:
+        Simulated probe length ("for a couple of seconds", Section 1).
+    """
+
+    name = "ml"
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        *,
+        safety_margin: float = 0.05,
+        best_effort_slack: float = 0.9,
+        probe_duration_s: float = 3.0,
+    ) -> None:
+        if safety_margin < 0:
+            raise ValueError("safety_margin must be >= 0")
+        if not 0.0 < best_effort_slack <= 1.0:
+            raise ValueError("best_effort_slack must be in (0, 1]")
+        self.registry = registry or ModelRegistry()
+        self.safety_margin = safety_margin
+        self.best_effort_slack = best_effort_slack
+        self.probe_duration_s = probe_duration_s
+        #: Batched-prediction accounting for the fleet report.
+        self.predict_calls = 0
+        self.predicted_rows = 0
+
+    # ------------------------------------------------------------------
+
+    def _predict_group(
+        self,
+        machine: MachineTopology,
+        vcpus: int,
+        group: Sequence[PlacementRequest],
+    ) -> Tuple[ImportantPlacementSet, np.ndarray] | None:
+        """Probe and predict every request of one (shape, vcpus) group in
+        one batched model call; None when the shape cannot host them."""
+        try:
+            placements = self.registry.placements(machine, vcpus)
+            model = self.registry.model(machine, vcpus)
+        except ValueError:
+            return None
+        simulator = self.registry.simulator(machine)
+        i, j = model.input_pair
+        obs_i = np.empty(len(group))
+        obs_j = np.empty(len(group))
+        for row, request in enumerate(group):
+            obs_i[row] = simulator.measured_ipc(
+                request.profile,
+                placements[i],
+                duration_s=self.probe_duration_s,
+                repetition=request.request_id,
+            )
+            obs_j[row] = simulator.measured_ipc(
+                request.profile,
+                placements[j],
+                duration_s=self.probe_duration_s,
+                repetition=request.request_id + 1,
+            )
+        vectors = model.predict_batch(obs_i, obs_j)
+        self.predict_calls += 1
+        self.predicted_rows += len(group)
+        return placements, vectors
+
+    @staticmethod
+    def _scorer(placements: ImportantPlacementSet):
+        bandwidth = placements.concerns.bandwidth_concern
+        if bandwidth is None:
+            return lambda nodes: 0.0
+        return lambda nodes: bandwidth.score_nodes(nodes)
+
+    def _preference_order(
+        self,
+        placements: ImportantPlacementSet,
+        vector: np.ndarray,
+        goal_fraction: float | None,
+    ) -> List[int]:
+        """Candidate important-placement indices, most preferred first:
+        goal-meeting (or, for best-effort requests, near-best) ones
+        cheapest-first, then the rest by prediction."""
+        indices = list(range(len(placements)))
+        if goal_fraction is None:
+            threshold = self.best_effort_slack * float(max(vector))
+        else:
+            threshold = goal_fraction * (1.0 + self.safety_margin)
+        meeting = [k for k in indices if vector[k] >= threshold]
+        rest = [k for k in indices if vector[k] < threshold]
+        meeting.sort(key=lambda k: (placements[k].n_nodes, -vector[k]))
+        rest.sort(key=lambda k: -vector[k])
+        return meeting + rest
+
+    def decide_batch(self, requests, fleet):
+        # Phase 1: batched prediction per (shape, vcpus) key.
+        groups: Dict[int, List[PlacementRequest]] = {}
+        for request in requests:
+            groups.setdefault(request.vcpus, []).append(request)
+        predictions: Dict[Tuple, Tuple] = {}
+        for machine in fleet.shapes:
+            for vcpus, group in groups.items():
+                predicted = self._predict_group(machine, vcpus, group)
+                if predicted is None:
+                    continue
+                placements, vectors = predicted
+                by_request = {
+                    request.request_id: vectors[row]
+                    for row, request in enumerate(group)
+                }
+                predictions[(machine.fingerprint(), vcpus)] = (
+                    placements,
+                    by_request,
+                )
+
+        # Phase 2: place each request, in arrival order.
+        decisions = []
+        for request in requests:
+            decisions.append(self._place_one(request, fleet, predictions))
+        return decisions
+
+    def _place_one(
+        self,
+        request: PlacementRequest,
+        fleet: Fleet,
+        predictions: Dict[Tuple, Tuple],
+    ) -> FleetDecision:
+        feasible_anywhere = False
+        orders: Dict[Tuple, List[int]] = {}
+        for host in fleet.hosts:
+            key = (host.machine.fingerprint(), request.vcpus)
+            entry = predictions.get(key)
+            if entry is None:
+                continue
+            feasible_anywhere = True
+            if key not in orders:
+                placements, by_request = entry
+                orders[key] = self._preference_order(
+                    placements, by_request[request.request_id],
+                    request.goal_fraction,
+                )
+        if not feasible_anywhere:
+            return FleetDecision(request, reject_reason="infeasible")
+        candidates = [
+            host for host in fleet.hosts if host.n_free_nodes > 0
+        ]
+        if not candidates:
+            return FleetDecision(request, reject_reason="capacity")
+
+        # Candidate-major search: the most-preferred placement realizable
+        # *anywhere* in the fleet wins, so a mediocre placement on an early
+        # host never shadows a good one on a later host.  Pass 1 wants a
+        # free block whose interconnect score matches the candidate exactly
+        # (so the prediction transfers verbatim); pass 2 accepts any free
+        # block of the right size.
+        max_rank = max(len(order) for order in orders.values())
+        for exact in (True, False):
+            for rank in range(max_rank):
+                for host in candidates:
+                    key = (host.machine.fingerprint(), request.vcpus)
+                    order = orders.get(key)
+                    if order is None or rank >= len(order):
+                        continue
+                    placements, by_request = predictions[key]
+                    if placements[order[rank]].n_nodes > host.n_free_nodes:
+                        continue
+                    decision = self._try_candidate(
+                        request,
+                        host,
+                        placements,
+                        by_request[request.request_id],
+                        order[rank],
+                        exact=exact,
+                    )
+                    if decision is not None:
+                        return decision
+        return FleetDecision(request, reject_reason="capacity")
+
+    def _try_candidate(
+        self,
+        request: PlacementRequest,
+        host: FleetHost,
+        placements: ImportantPlacementSet,
+        vector: np.ndarray,
+        index: int,
+        *,
+        exact: bool,
+    ) -> FleetDecision | None:
+        scorer = self._scorer(placements)
+        candidate = placements[index]
+        if exact:
+            block = host.find_block(
+                candidate.n_nodes,
+                scorer,
+                target_score=scorer(frozenset(candidate.nodes)),
+            )
+        else:
+            block = host.find_block(candidate.n_nodes, scorer)
+        if block is None:
+            return None
+        realized = Placement(
+            host.machine,
+            block,
+            request.vcpus,
+            l2_share=candidate.l2_share,
+            l3_groups_per_node=candidate.l3_score // candidate.n_nodes,
+        )
+        host.allocate(request.request_id, realized)
+        return FleetDecision(
+            request,
+            host_id=host.host_id,
+            placement=realized,
+            placement_id=index + 1,
+            predicted_relative=float(vector[index]),
+            block_exact=exact,
+        )

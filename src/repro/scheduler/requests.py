@@ -1,0 +1,108 @@
+"""The fleet scheduler's input: a stream of container placement requests.
+
+A request is everything the cluster control plane knows when a container
+arrives: the workload (its profile — in a real deployment this would be the
+image plus whatever the operator declared), the vCPU count the customer
+bought, and an optional performance goal expressed the paper's way, as a
+fraction of the baseline placement's performance (Section 7 uses 0.9, 1.0,
+and 1.1).
+
+:func:`generate_request_stream` builds a deterministic heterogeneous stream
+for experiments and benchmarks: workloads drawn from the paper's 18
+applications (optionally jittered into synthetic variants), mixed vCPU
+sizes, and a mix of goal-bearing and best-effort requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.perfsim.generator import WorkloadGenerator
+from repro.perfsim.library import paper_workloads
+from repro.perfsim.workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One container arriving at the fleet scheduler."""
+
+    request_id: int
+    profile: WorkloadProfile
+    vcpus: int
+    goal_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ValueError("vcpus must be >= 1")
+        if self.goal_fraction is not None and self.goal_fraction <= 0:
+            raise ValueError("goal_fraction must be positive")
+
+    @property
+    def workload_name(self) -> str:
+        return self.profile.name
+
+    def describe(self) -> str:
+        goal = (
+            f"goal {self.goal_fraction:.0%}"
+            if self.goal_fraction is not None
+            else "best-effort"
+        )
+        return f"req#{self.request_id} {self.profile.name} x{self.vcpus} ({goal})"
+
+
+def generate_request_stream(
+    n_requests: int,
+    *,
+    seed: int = 0,
+    vcpus_choices: Sequence[int] = (8, 16),
+    goal_choices: Sequence[float | None] = (None, 0.9, 1.0),
+    jitter: float = 0.0,
+) -> List[PlacementRequest]:
+    """A deterministic stream of heterogeneous placement requests.
+
+    Parameters
+    ----------
+    n_requests:
+        Stream length.
+    seed:
+        Drives every draw; equal seeds give equal streams.
+    vcpus_choices:
+        Container sizes to sample uniformly.
+    goal_choices:
+        Performance goals to sample uniformly (``None`` = best effort).
+    jitter:
+        When positive, each request's workload is a jittered synthetic
+        variant instead of a verbatim paper profile, so no two requests are
+        exactly alike.
+    """
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if not vcpus_choices:
+        raise ValueError("vcpus_choices must not be empty")
+    if not goal_choices:
+        raise ValueError("goal_choices must not be empty")
+    rng = np.random.default_rng(seed)
+    base = paper_workloads()
+    generator = (
+        WorkloadGenerator(seed=seed, jitter=jitter) if jitter > 0 else None
+    )
+    requests: List[PlacementRequest] = []
+    for request_id in range(1, n_requests + 1):
+        if generator is not None:
+            profile = generator.sample_one()
+        else:
+            profile = base[int(rng.integers(0, len(base)))]
+        vcpus = int(vcpus_choices[int(rng.integers(0, len(vcpus_choices)))])
+        goal = goal_choices[int(rng.integers(0, len(goal_choices)))]
+        requests.append(
+            PlacementRequest(
+                request_id=request_id,
+                profile=profile,
+                vcpus=vcpus,
+                goal_fraction=goal,
+            )
+        )
+    return requests

@@ -1,0 +1,252 @@
+"""The fleet scheduler: drive a request stream through a policy and report.
+
+:class:`FleetScheduler` is the control loop: it cuts the stream into
+batches (so the goal-aware policy can predict a whole batch in one
+vectorized call), lets the policy decide-and-allocate, then grades every
+placed container — achieved performance relative to the shape's baseline
+placement, measured through the per-shape simulator — and folds everything
+into a :class:`FleetReport`.
+
+The ``batch_size=1`` / ``memoize_enumeration=False`` configuration
+reproduces the naive per-request pipeline (re-enumerate, predict one row at
+a time); the benchmark in ``benchmarks/bench_fleet_scheduler.py`` measures
+the gap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.memo import CacheInfo
+from repro.scheduler.fleet import Fleet
+from repro.scheduler.policies import (
+    FleetDecision,
+    FleetPolicy,
+    GoalAwareFleetPolicy,
+)
+from repro.scheduler.registry import ModelRegistry
+from repro.scheduler.requests import PlacementRequest
+
+
+@dataclass
+class GradedDecision:
+    """A policy decision plus the scheduler's post-hoc grading."""
+
+    decision: FleetDecision
+    #: Solo performance in the realized placement, relative to the shape's
+    #: baseline placement (None for rejected requests).
+    achieved_relative: float | None = None
+    violated: bool = False
+    #: Wall-clock seconds attributed to this request's decision (its
+    #: batch's elapsed time divided by the batch length).
+    decision_seconds: float = 0.0
+
+    def describe(self) -> str:
+        text = self.decision.describe()
+        if self.achieved_relative is not None:
+            text += f", achieved {self.achieved_relative:.2f}"
+            if self.violated:
+                text += " [VIOLATION]"
+        return text
+
+
+@dataclass
+class FleetReport:
+    """Fleet-level outcome of scheduling one request stream."""
+
+    policy: str
+    n_hosts: int
+    n_requests: int
+    decisions: List[GradedDecision] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    thread_utilization: float = 0.0
+    node_utilization: float = 0.0
+    busiest_host_utilization: float = 0.0
+    cache_info: CacheInfo | None = None
+    enumeration_runs: int = 0
+    predict_calls: int = 0
+    predicted_rows: int = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def placed(self) -> int:
+        return sum(1 for g in self.decisions if g.decision.placed)
+
+    @property
+    def rejected(self) -> int:
+        return self.n_requests - self.placed
+
+    @property
+    def goal_bearing(self) -> int:
+        return sum(
+            1
+            for g in self.decisions
+            if g.decision.request.goal_fraction is not None
+        )
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for g in self.decisions if g.violated)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.n_requests / self.elapsed_seconds
+
+    def decision_latency_ms(self) -> Tuple[float, float]:
+        """(mean, p95) per-request decision latency in milliseconds."""
+        if not self.decisions:
+            return (0.0, 0.0)
+        latencies = np.array([g.decision_seconds for g in self.decisions])
+        return (
+            float(latencies.mean() * 1000.0),
+            float(np.percentile(latencies, 95) * 1000.0),
+        )
+
+    def rejects_by_reason(self) -> Dict[str, int]:
+        reasons: Dict[str, int] = {}
+        for g in self.decisions:
+            if not g.decision.placed:
+                reason = g.decision.reject_reason or "unknown"
+                reasons[reason] = reasons.get(reason, 0) + 1
+        return reasons
+
+    def describe(self) -> str:
+        mean_ms, p95_ms = self.decision_latency_ms()
+        lines = [
+            f"fleet report: {self.n_requests} requests over "
+            f"{self.n_hosts} hosts (policy={self.policy})",
+            f"  placed {self.placed}, rejected {self.rejected}"
+            + (
+                " ("
+                + ", ".join(
+                    f"{count} {reason}"
+                    for reason, count in sorted(self.rejects_by_reason().items())
+                )
+                + ")"
+                if self.rejected
+                else ""
+            ),
+            f"  goal violations: {self.violations} of "
+            f"{self.goal_bearing} goal-bearing requests",
+            f"  utilization: threads {self.thread_utilization:.1%}, "
+            f"nodes reserved {self.node_utilization:.1%}, "
+            f"busiest host {self.busiest_host_utilization:.1%}",
+            f"  decision latency: mean {mean_ms:.2f} ms, p95 {p95_ms:.2f} ms",
+            f"  enumeration pipeline runs: {self.enumeration_runs}"
+            + (
+                f" (cache: {self.cache_info.hits} hits, "
+                f"{self.cache_info.misses} misses)"
+                if self.cache_info is not None
+                else ""
+            ),
+        ]
+        if self.predict_calls:
+            lines.append(
+                f"  batched prediction: {self.predicted_rows} vectors in "
+                f"{self.predict_calls} forest calls"
+            )
+        lines.append(
+            f"  elapsed {self.elapsed_seconds:.2f} s -> "
+            f"{self.requests_per_second:.1f} requests/s"
+        )
+        return "\n".join(lines)
+
+
+class FleetScheduler:
+    """Streams requests through a fleet policy in batches.
+
+    Parameters
+    ----------
+    fleet:
+        The hosts.
+    policy:
+        Any :class:`~repro.scheduler.policies.FleetPolicy`; defaults to the
+        goal-aware ML policy with a fresh registry.
+    registry:
+        Used for post-hoc grading (baseline placements and simulators).
+        Defaults to the policy's registry when it has one, so the grader
+        shares the policy's caches.
+    batch_size:
+        Requests decided per policy call.  1 disables batching (the naive
+        prediction path).
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        policy: FleetPolicy | None = None,
+        *,
+        registry: ModelRegistry | None = None,
+        batch_size: int = 64,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.fleet = fleet
+        self.policy = policy or GoalAwareFleetPolicy()
+        if registry is None:
+            registry = getattr(self.policy, "registry", None) or ModelRegistry()
+        self.registry = registry
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+
+    def _grade(self, decision: FleetDecision) -> GradedDecision:
+        if not decision.placed:
+            return GradedDecision(decision)
+        request = decision.request
+        host = self.fleet.hosts[decision.host_id]
+        simulator = self.registry.simulator(host.machine)
+        baseline = self.registry.baseline_placement(host.machine, request.vcpus)
+        achieved = simulator.measured_ipc(
+            request.profile, decision.placement, noise=False
+        ) / simulator.measured_ipc(request.profile, baseline, noise=False)
+        violated = (
+            request.goal_fraction is not None
+            and achieved < request.goal_fraction
+        )
+        return GradedDecision(
+            decision, achieved_relative=float(achieved), violated=violated
+        )
+
+    def run(self, requests: Sequence[PlacementRequest]) -> FleetReport:
+        """Schedule the whole stream and return the fleet report."""
+        start = time.perf_counter()
+        graded: List[GradedDecision] = []
+        for begin in range(0, len(requests), self.batch_size):
+            batch = requests[begin : begin + self.batch_size]
+            batch_start = time.perf_counter()
+            decisions = self.policy.decide_batch(batch, self.fleet)
+            if len(decisions) != len(batch):
+                raise RuntimeError(
+                    f"policy {self.policy.name} returned {len(decisions)} "
+                    f"decisions for a {len(batch)}-request batch"
+                )
+            per_request = (time.perf_counter() - batch_start) / len(batch)
+            for decision in decisions:
+                entry = self._grade(decision)
+                entry.decision_seconds = per_request
+                graded.append(entry)
+        elapsed = time.perf_counter() - start
+
+        per_host = [h.thread_utilization for h in self.fleet.hosts]
+        return FleetReport(
+            policy=self.policy.name,
+            n_hosts=len(self.fleet),
+            n_requests=len(requests),
+            decisions=graded,
+            elapsed_seconds=elapsed,
+            thread_utilization=self.fleet.thread_utilization,
+            node_utilization=self.fleet.node_utilization,
+            busiest_host_utilization=max(per_host) if per_host else 0.0,
+            cache_info=self.registry.enumeration_cache.info(),
+            enumeration_runs=self.registry.enumeration_runs(),
+            predict_calls=getattr(self.policy, "predict_calls", 0),
+            predicted_rows=getattr(self.policy, "predicted_rows", 0),
+        )

@@ -148,6 +148,23 @@ class Interconnect:
     def hop_latency_ns(self) -> float:
         return self._hop_latency_ns
 
+    def signature(self) -> Tuple:
+        """Hashable identity of the link graph: node count, latencies, and
+        the sorted (pair, bandwidth) table.  Two interconnects with equal
+        signatures produce identical scores for every node set, so results
+        keyed by the signature can be shared between them."""
+        return (
+            self._n_nodes,
+            self._local_latency_ns,
+            self._hop_latency_ns,
+            tuple(
+                (tuple(sorted(link)), bandwidth)
+                for link, bandwidth in sorted(
+                    self._links.items(), key=lambda item: tuple(sorted(item[0]))
+                )
+            ),
+        )
+
     def bandwidth(self, a: int, b: int) -> float | None:
         """Direct link bandwidth between ``a`` and ``b``; None if not adjacent."""
         return self._links.get(_as_link(a, b))

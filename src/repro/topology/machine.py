@@ -21,8 +21,8 @@ threads of one L2 group are contiguous.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from repro.topology.interconnect import Interconnect
 
@@ -180,6 +180,38 @@ class MachineTopology:
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of everything placement enumeration depends on.
+
+        Two machines with equal fingerprints have identical concern sets and
+        therefore identical important placements for every container size,
+        so enumeration results keyed by the fingerprint can be shared.  The
+        name is part of the fingerprint because placements and simulators
+        check machine identity by name; sharing results across differently
+        named (if structurally identical) machines would let a placement
+        built for one machine leak into another's simulator.
+
+        The tuple is computed once and memoized — fleet schedulers call
+        this per host per request, and every field it reads is frozen.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = (
+                self.name,
+                self.n_nodes,
+                self.l2_groups_per_node,
+                self.threads_per_l2,
+                self.l3_groups_per_node,
+                self.dram_bandwidth_mbps,
+                self.l3_size_mb,
+                self.l2_size_kb,
+                self.interconnect.signature(),
+            )
+            # object.__setattr__-free: frozen dataclasses still own a
+            # plain __dict__, and writing to it does not trip the freeze.
+            self.__dict__["_fingerprint"] = cached
+        return cached
 
     def total_dram_bandwidth(self, nodes: Sequence[int] | None = None) -> float:
         """Aggregate local DRAM bandwidth over a node set (all nodes if None)."""

@@ -1,7 +1,6 @@
 """Unit and property tests for Algorithms 1-3 (important placements)."""
 
 import itertools
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

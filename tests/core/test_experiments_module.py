@@ -1,6 +1,5 @@
 """Unit tests for the canonical experiment configuration module."""
 
-import pytest
 
 from repro.experiments import (
     CANONICAL_PAIRS,

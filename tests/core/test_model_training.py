@@ -16,7 +16,7 @@ from repro.core import (
     workload_family,
 )
 from repro.perfsim import WorkloadGenerator, paper_workloads
-from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
+from repro.topology import amd_opteron_6272
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,119 @@
+"""Batched vs single prediction equivalence (bit-for-bit).
+
+The fleet scheduler's hot path pushes whole batches of containers through
+the forest in one vectorized call.  That is only a safe optimization if a
+batch of N rows predicts exactly what N single-row calls would — same
+leaves, same tree-mean, no float drift — which these tests pin down at
+every layer: tree, forest, and placement model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PlacementModel
+from repro.core.training import build_training_set
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor
+from repro.perfsim import paper_workloads
+from repro.topology import amd_opteron_6272
+
+
+def _reference_tree_predict(tree, X):
+    """Walk the node graph row by row — the pre-vectorization semantics."""
+    out = np.empty((len(X), tree._n_outputs))
+    for i, row in enumerate(X):
+        node = tree._root
+        while not node.is_leaf:
+            node = (
+                node.left if row[node.feature] <= node.threshold else node.right
+            )
+        out[i] = node.value
+    return out[:, 0] if tree._y_was_1d else out
+
+
+class TestTreeBatching:
+    def test_vectorized_matches_graph_walk(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 5))
+        Y = rng.normal(size=(120, 3))
+        tree = DecisionTreeRegressor(random_state=1).fit(X, Y)
+        X_test = rng.normal(size=(64, 5))
+        assert np.array_equal(
+            tree.predict(X_test), _reference_tree_predict(tree, X_test)
+        )
+
+    def test_single_row_matches_batch(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 4))
+        y = rng.normal(size=50)  # 1-d output path
+        tree = DecisionTreeRegressor(random_state=0).fit(X, y)
+        X_test = rng.normal(size=(10, 4))
+        batched = tree.predict(X_test)
+        for k in range(len(X_test)):
+            assert batched[k] == tree.predict(X_test[k : k + 1])[0]
+
+    def test_leaf_only_tree(self):
+        X = np.zeros((5, 2))
+        y = np.full(5, 3.25)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.array_equal(tree.predict(np.ones((4, 2))), np.full(4, 3.25))
+
+
+class TestForestBatching:
+    def test_batch_matches_singles_bit_for_bit(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(80, 3))
+        Y = rng.normal(size=(80, 6))
+        forest = RandomForestRegressor(n_estimators=15, random_state=7).fit(X, Y)
+        X_test = rng.normal(size=(33, 3))
+        batched = forest.predict(X_test)
+        for k in range(len(X_test)):
+            single = forest.predict(X_test[k : k + 1])[0]
+            assert np.array_equal(batched[k], single)
+
+
+class TestPlacementModelBatching:
+    @pytest.fixture(scope="class")
+    def model(self):
+        machine = amd_opteron_6272()
+        training_set = build_training_set(machine, 16, paper_workloads())
+        return PlacementModel(
+            input_pair=(0, 5), n_estimators=12, random_state=0
+        ).fit(training_set)
+
+    def test_predict_batch_matches_singles_bit_for_bit(self, model):
+        rng = np.random.default_rng(11)
+        perf_i = rng.uniform(0.4, 2.0, size=25)
+        perf_j = rng.uniform(0.4, 2.0, size=25)
+        batched = model.predict_batch(perf_i, perf_j)
+        assert batched.shape[0] == 25
+        for k in range(25):
+            single = model.predict(float(perf_i[k]), float(perf_j[k]))
+            assert np.array_equal(batched[k], single)
+
+    def test_predict_many_is_an_alias(self, model):
+        perf_i = np.array([0.9, 1.1])
+        perf_j = np.array([1.2, 0.8])
+        assert np.array_equal(
+            model.predict_many(perf_i, perf_j),
+            model.predict_batch(perf_i, perf_j),
+        )
+
+    def test_scalar_inputs_promote(self, model):
+        assert model.predict_batch(1.0, 1.2).shape[0] == 1
+
+    def test_shape_mismatch_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.predict_batch(np.ones(3), np.ones(4))
+
+    def test_2d_inputs_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.predict_batch(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_unfitted_model_raises(self):
+        with pytest.raises(RuntimeError):
+            PlacementModel().predict_batch(np.ones(2), np.ones(2))
+
+    def test_nonpositive_observation_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.predict_batch(np.array([0.0, 1.0]), np.array([1.0, 1.0]))

@@ -7,7 +7,6 @@ import pytest
 from repro.core import Placement, important_placements
 from repro.perfsim import (
     PerformanceSimulator,
-    WorkloadProfile,
     paper_workloads,
     workload_by_name,
 )

@@ -14,7 +14,7 @@ from repro.perfsim import (
     paper_workloads,
     workload_by_name,
 )
-from repro.perfsim.hpe import COUNTER_REGISTERS, behaviour_signals, build_catalog
+from repro.perfsim.hpe import behaviour_signals, build_catalog
 from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
 
 

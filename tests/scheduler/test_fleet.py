@@ -1,0 +1,140 @@
+"""Tests for the fleet and its per-host capacity accounting."""
+
+import pytest
+
+from repro.core.placements import Placement
+from repro.scheduler import Fleet, FleetHost
+from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
+
+
+def _scorer(machine):
+    return lambda nodes: machine.interconnect.aggregate_bandwidth(nodes)
+
+
+class TestFleetHost:
+    def test_fresh_host_is_empty(self):
+        machine = amd_opteron_6272()
+        host = FleetHost(0, machine)
+        assert host.n_free_nodes == machine.n_nodes
+        assert host.used_threads == 0
+        assert host.thread_utilization == 0.0
+        assert host.node_utilization == 0.0
+
+    def test_allocate_claims_nodes(self):
+        machine = amd_opteron_6272()
+        host = FleetHost(0, machine)
+        placement = Placement(machine, (0, 1), 16, l2_share=2)
+        host.allocate(7, placement)
+        assert host.free_nodes == frozenset(range(2, 8))
+        assert host.used_threads == 16
+        assert host.placements == {7: placement}
+
+    def test_double_allocate_same_request_rejected(self):
+        machine = amd_opteron_6272()
+        host = FleetHost(0, machine)
+        host.allocate(1, Placement(machine, (0, 1), 16, l2_share=2))
+        with pytest.raises(ValueError):
+            host.allocate(1, Placement(machine, (2, 3), 16, l2_share=2))
+
+    def test_allocate_taken_nodes_rejected(self):
+        machine = amd_opteron_6272()
+        host = FleetHost(0, machine)
+        host.allocate(1, Placement(machine, (0, 1), 16, l2_share=2))
+        with pytest.raises(ValueError, match=r"nodes \[0, 1\]"):
+            host.allocate(2, Placement(machine, (0, 1), 16, l2_share=2))
+
+    def test_release_returns_nodes(self):
+        machine = amd_opteron_6272()
+        host = FleetHost(0, machine)
+        placement = Placement(machine, (0, 1), 16, l2_share=2)
+        host.allocate(1, placement)
+        assert host.release(1) is placement
+        assert host.n_free_nodes == machine.n_nodes
+        with pytest.raises(KeyError):
+            host.release(1)
+
+    def test_find_block_prefers_best_score(self):
+        machine = amd_opteron_6272()
+        host = FleetHost(0, machine)
+        scorer = _scorer(machine)
+        block = host.find_block(2, scorer)
+        best = max(
+            (
+                scorer(frozenset((a, b)))
+                for a in machine.nodes
+                for b in machine.nodes
+                if a < b
+            ),
+        )
+        assert scorer(frozenset(block)) == best
+
+    def test_find_block_exact_score(self):
+        machine = amd_opteron_6272()
+        host = FleetHost(0, machine)
+        scorer = _scorer(machine)
+        target = scorer(frozenset((0, 7)))
+        block = host.find_block(2, scorer, target_score=target)
+        assert round(scorer(frozenset(block)), 3) == round(target, 3)
+
+    def test_find_block_too_large_returns_none(self):
+        machine = amd_opteron_6272()
+        host = FleetHost(0, machine)
+        host.allocate(1, Placement(machine, tuple(range(8)), 8))
+        assert host.find_block(1, _scorer(machine)) is None
+
+    def test_find_block_unmatchable_target_returns_none(self):
+        machine = amd_opteron_6272()
+        host = FleetHost(0, machine)
+        assert host.find_block(2, _scorer(machine), target_score=-1.0) is None
+
+    def test_find_block_size_validation(self):
+        host = FleetHost(0, amd_opteron_6272())
+        with pytest.raises(ValueError):
+            host.find_block(0, _scorer(host.machine))
+
+
+class TestFleet:
+    def test_homogeneous(self):
+        machine = amd_opteron_6272()
+        fleet = Fleet.homogeneous(machine, 5)
+        assert len(fleet) == 5
+        assert [host.host_id for host in fleet] == list(range(5))
+        assert len(fleet.shapes) == 1
+        assert fleet.total_threads == 5 * machine.total_threads
+
+    def test_mixed_interleaves_shapes(self):
+        amd, intel = amd_opteron_6272(), intel_xeon_e7_4830_v3()
+        fleet = Fleet.mixed([(amd, 3), (intel, 3)])
+        assert len(fleet) == 6
+        assert len(fleet.shapes) == 2
+        names = [host.machine.name for host in fleet.hosts[:2]]
+        assert names[0] != names[1]
+
+    def test_mixed_skips_zero_counts(self):
+        fleet = Fleet.mixed([(amd_opteron_6272(), 2), (intel_xeon_e7_4830_v3(), 0)])
+        assert len(fleet) == 2
+        assert len(fleet.shapes) == 1
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            Fleet([])
+        with pytest.raises(ValueError):
+            Fleet.homogeneous(amd_opteron_6272(), 0)
+        with pytest.raises(ValueError):
+            Fleet.mixed([(amd_opteron_6272(), 0)])
+
+    def test_utilization_aggregates(self):
+        machine = amd_opteron_6272()
+        fleet = Fleet.homogeneous(machine, 2)
+        fleet.hosts[0].allocate(1, Placement(machine, (0, 1), 16, l2_share=2))
+        assert fleet.used_threads == 16
+        assert fleet.thread_utilization == 16 / (2 * machine.total_threads)
+        assert fleet.node_utilization == 2 / 16
+        assert "threads" in fleet.utilization_summary()
+
+    def test_hosts_by_load(self):
+        machine = amd_opteron_6272()
+        fleet = Fleet.homogeneous(machine, 3)
+        fleet.hosts[0].allocate(1, Placement(machine, (0, 1), 16, l2_share=2))
+        order = [host.host_id for host in fleet.hosts_by_load()]
+        assert order == [1, 2, 0]

@@ -1,0 +1,220 @@
+"""Tests for the fleet policies."""
+
+import pytest
+
+from repro.scheduler import (
+    Fleet,
+    FirstFitFleetPolicy,
+    GoalAwareFleetPolicy,
+    ModelRegistry,
+    PlacementRequest,
+    SpreadFleetPolicy,
+    minimal_l2_share,
+    minimal_node_count,
+)
+from repro.perfsim import workload_by_name
+from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
+
+
+def _request(request_id, vcpus=16, goal=None, workload="gcc"):
+    return PlacementRequest(
+        request_id=request_id,
+        profile=workload_by_name(workload),
+        vcpus=vcpus,
+        goal_fraction=goal,
+    )
+
+
+@pytest.fixture(scope="module")
+def registry():
+    # Tiny models keep the suite fast; accuracy is not under test here.
+    return ModelRegistry(n_estimators=6, n_synthetic=2, seed=0)
+
+
+class TestHelpers:
+    def test_minimal_node_count(self):
+        machine = amd_opteron_6272()
+        assert minimal_node_count(machine, 8) == 1
+        assert minimal_node_count(machine, 16) == 2
+        assert minimal_node_count(machine, 32) == 4
+        with pytest.raises(ValueError):
+            minimal_node_count(machine, machine.total_threads * 2)
+
+    def test_minimal_l2_share(self):
+        machine = amd_opteron_6272()  # 8 L2 groups x 2 threads per node
+        assert minimal_l2_share(machine, 4) == 1
+        assert minimal_l2_share(machine, 8) == 2
+        with pytest.raises(ValueError):
+            minimal_l2_share(machine, 3 * machine.threads_per_node)
+
+    def test_minimal_shape_skips_l2_infeasible_node_counts(self):
+        from repro.scheduler import minimal_shape
+
+        machine = amd_opteron_6272()
+        # 10 vCPUs: 2 nodes divide evenly but 5-per-node cannot balance
+        # over 4 L2 groups; the cheapest realizable shape is 5 nodes.
+        assert minimal_shape(machine, 10) == (5, 1)
+        assert minimal_node_count(machine, 10) == 5
+
+
+class TestHeuristicPolicies:
+    def test_first_fit_packs_in_host_order(self):
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 3)
+        policy = FirstFitFleetPolicy()
+        decisions = policy.decide_batch(
+            [_request(k, vcpus=16) for k in range(1, 5)], fleet
+        )
+        assert all(d.placed for d in decisions)
+        # 16 vCPUs need two AMD nodes; four requests fill host 0 exactly.
+        assert {d.host_id for d in decisions} == {0}
+
+    def test_spread_balances(self):
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 3)
+        decisions = SpreadFleetPolicy().decide_batch(
+            [_request(k, vcpus=16) for k in range(1, 4)], fleet
+        )
+        assert sorted(d.host_id for d in decisions) == [0, 1, 2]
+
+    def test_rejects_when_full(self):
+        machine = amd_opteron_6272()
+        fleet = Fleet.homogeneous(machine, 1)
+        requests = [_request(k, vcpus=16) for k in range(1, 11)]
+        decisions = FirstFitFleetPolicy().decide_batch(requests, fleet)
+        placed = [d for d in decisions if d.placed]
+        rejected = [d for d in decisions if not d.placed]
+        assert len(placed) == machine.n_nodes // 2  # two nodes each
+        assert rejected and all(d.reject_reason == "capacity" for d in rejected)
+
+    def test_places_l2_awkward_vcpus(self):
+        # Regression: 10 vCPUs cannot balance on the minimal even divisor
+        # (2 nodes) of the AMD machine, but must still be placed (5 nodes).
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 1)
+        decision = FirstFitFleetPolicy().decide_batch(
+            [_request(1, vcpus=10)], fleet
+        )[0]
+        assert decision.placed
+        assert decision.placement.n_nodes == 5
+
+    def test_rejects_infeasible_vcpus(self):
+        machine = amd_opteron_6272()
+        fleet = Fleet.homogeneous(machine, 1)
+        decisions = FirstFitFleetPolicy().decide_batch(
+            [_request(1, vcpus=machine.total_threads * 2)], fleet
+        )
+        assert not decisions[0].placed
+        assert decisions[0].reject_reason == "infeasible"
+
+    def test_decision_describe(self):
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 1)
+        decision = FirstFitFleetPolicy().decide_batch([_request(1)], fleet)[0]
+        assert "host 0" in decision.describe()
+
+
+class TestGoalAwarePolicy:
+    def test_places_and_reports_prediction(self, registry):
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 2)
+        policy = GoalAwareFleetPolicy(registry)
+        decisions = policy.decide_batch(
+            [_request(1, goal=0.9), _request(2, goal=None)], fleet
+        )
+        assert all(d.placed for d in decisions)
+        for decision in decisions:
+            assert decision.placement_id is not None
+            assert decision.predicted_relative is not None
+            assert decision.block_exact
+
+    def test_batched_prediction_accounting(self, registry):
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 2)
+        policy = GoalAwareFleetPolicy(registry)
+        requests = [_request(k, vcpus=16) for k in range(1, 9)]
+        policy.decide_batch(requests, fleet)
+        assert policy.predict_calls == 1  # one shape, one vcpu size
+        assert policy.predicted_rows == len(requests)
+
+    def test_goal_bearing_prefers_cheap_placements(self, registry):
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 1)
+        policy = GoalAwareFleetPolicy(registry)
+        low_goal, best_effort = policy.decide_batch(
+            [
+                _request(1, goal=0.5, workload="swaptions"),
+                _request(2, goal=None, workload="swaptions"),
+            ],
+            fleet,
+        )
+        # An easy goal is met with fewer (or equal) nodes than a
+        # maximize-performance best-effort request needs.
+        assert low_goal.placement.n_nodes <= best_effort.placement.n_nodes
+
+    def test_mixed_fleet_uses_both_shapes(self, registry):
+        fleet = Fleet.mixed(
+            [(amd_opteron_6272(), 2), (intel_xeon_e7_4830_v3(), 2)]
+        )
+        policy = GoalAwareFleetPolicy(registry)
+        requests = [_request(k, vcpus=8) for k in range(1, 13)]
+        decisions = policy.decide_batch(requests, fleet)
+        shapes = {
+            fleet.hosts[d.host_id].machine.name
+            for d in decisions
+            if d.placed
+        }
+        assert len(shapes) == 2
+
+    def test_rejects_when_fleet_full(self, registry):
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 1)
+        policy = GoalAwareFleetPolicy(registry)
+        decisions = policy.decide_batch(
+            [_request(k, vcpus=16, goal=1.0) for k in range(1, 20)], fleet
+        )
+        rejected = [d for d in decisions if not d.placed]
+        assert rejected
+        assert all(d.reject_reason == "capacity" for d in rejected)
+
+    def test_rejects_infeasible_everywhere(self, registry):
+        machine = amd_opteron_6272()
+        fleet = Fleet.homogeneous(machine, 1)
+        policy = GoalAwareFleetPolicy(registry)
+        decisions = policy.decide_batch(
+            [_request(1, vcpus=machine.total_threads * 2)], fleet
+        )
+        assert decisions[0].reject_reason == "infeasible"
+
+    def test_validation(self, registry):
+        with pytest.raises(ValueError):
+            GoalAwareFleetPolicy(registry, safety_margin=-0.1)
+        with pytest.raises(ValueError):
+            GoalAwareFleetPolicy(registry, best_effort_slack=0.0)
+
+
+class TestRegistry:
+    def test_memoizes_models_and_enumeration(self):
+        registry = ModelRegistry(n_estimators=4, n_synthetic=2)
+        machine = amd_opteron_6272()
+        first = registry.model(machine, 16)
+        second = registry.model(amd_opteron_6272(), 16)
+        assert second is first
+        assert registry.enumeration_runs() == registry.enumeration_cache.info().misses
+        registry.placements(machine, 16)
+        runs = registry.enumeration_runs()
+        registry.placements(amd_opteron_6272(), 16)
+        assert registry.enumeration_runs() == runs  # cache hit
+
+    def test_naive_mode_reenumerates(self):
+        registry = ModelRegistry(memoize_enumeration=False)
+        machine = amd_opteron_6272()
+        registry.placements(machine, 16)
+        registry.placements(machine, 16)
+        assert registry.uncached_enumerations == 2
+        assert registry.enumeration_runs() == 2
+
+    def test_canonical_pair_for_paper_configuration(self):
+        registry = ModelRegistry()
+        assert registry.input_pair(amd_opteron_6272(), 16) == (6, 12)
+        # Non-paper vCPU count falls back to (first, last).
+        pair = registry.input_pair(amd_opteron_6272(), 8)
+        assert pair[0] == 0 and pair[1] > 0
+
+    def test_baseline_placement_matches_pair(self):
+        registry = ModelRegistry()
+        machine = amd_opteron_6272()
+        baseline = registry.baseline_placement(machine, 16)
+        assert baseline is registry.placements(machine, 16)[6]

@@ -1,0 +1,78 @@
+"""Tests for placement requests and the synthetic request stream."""
+
+import pytest
+
+from repro.scheduler import PlacementRequest, generate_request_stream
+from repro.scheduler.requests import generate_request_stream as _direct
+from repro.perfsim import workload_by_name
+
+
+class TestPlacementRequest:
+    def test_describe(self):
+        request = PlacementRequest(
+            request_id=3,
+            profile=workload_by_name("WTbtree"),
+            vcpus=16,
+            goal_fraction=0.9,
+        )
+        text = request.describe()
+        assert "req#3" in text and "WTbtree" in text and "90%" in text
+        assert request.workload_name == "WTbtree"
+
+    def test_best_effort_describe(self):
+        request = PlacementRequest(
+            request_id=1, profile=workload_by_name("gcc"), vcpus=8
+        )
+        assert "best-effort" in request.describe()
+
+    def test_validation(self):
+        profile = workload_by_name("gcc")
+        with pytest.raises(ValueError):
+            PlacementRequest(request_id=1, profile=profile, vcpus=0)
+        with pytest.raises(ValueError):
+            PlacementRequest(
+                request_id=1, profile=profile, vcpus=4, goal_fraction=0.0
+            )
+
+
+class TestGenerateRequestStream:
+    def test_deterministic(self):
+        first = generate_request_stream(40, seed=5)
+        second = generate_request_stream(40, seed=5)
+        assert [
+            (r.request_id, r.workload_name, r.vcpus, r.goal_fraction)
+            for r in first
+        ] == [
+            (r.request_id, r.workload_name, r.vcpus, r.goal_fraction)
+            for r in second
+        ]
+
+    def test_seed_changes_stream(self):
+        a = generate_request_stream(40, seed=1)
+        b = generate_request_stream(40, seed=2)
+        assert [r.workload_name for r in a] != [r.workload_name for r in b]
+
+    def test_heterogeneous(self):
+        stream = generate_request_stream(
+            80, seed=0, vcpus_choices=(8, 16), goal_choices=(None, 1.0)
+        )
+        assert {r.vcpus for r in stream} == {8, 16}
+        assert {r.goal_fraction for r in stream} == {None, 1.0}
+        assert len({r.workload_name for r in stream}) > 5
+        assert [r.request_id for r in stream] == list(range(1, 81))
+
+    def test_jittered_streams_are_synthetic(self):
+        stream = generate_request_stream(10, seed=0, jitter=0.2)
+        paper_names = {r.workload_name for r in generate_request_stream(200, seed=0)}
+        assert all(r.workload_name not in paper_names for r in stream)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_request_stream(0)
+        with pytest.raises(ValueError):
+            generate_request_stream(5, vcpus_choices=())
+        with pytest.raises(ValueError):
+            generate_request_stream(5, goal_choices=())
+
+    def test_reexport(self):
+        assert generate_request_stream is _direct

@@ -46,6 +46,77 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_schedule_first_fit(self, capsys):
+        assert main(
+            [
+                "schedule",
+                "--hosts", "4",
+                "--requests", "8",
+                "--policy", "first-fit",
+                "--machine", "amd",
+                "--trace", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet report: 8 requests over 4 hosts" in out
+        assert "policy=first-fit" in out
+        assert "requests/s" in out
+        assert out.count("req#") == 3  # the --trace lines
+
+    def test_schedule_rejects_bad_vcpus_list(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--vcpus", "eight"])
+        with pytest.raises(SystemExit):
+            main(["schedule", "--vcpus", "0"])
+        with pytest.raises(SystemExit):
+            main(["schedule", "--vcpus", "8,-16"])
+
+    def test_schedule_rejects_bad_counts(self):
+        for flags in (
+            ["--hosts", "0"],
+            ["--requests", "0"],
+            ["--batch-size", "0"],
+            ["--trace", "-1"],
+        ):
+            with pytest.raises(SystemExit):
+                main(["schedule", *flags])
+
+    @pytest.mark.slow
+    def test_schedule_ml_mixed_fleet(self, capsys):
+        assert main(
+            [
+                "schedule",
+                "--hosts", "6",
+                "--requests", "12",
+                "--policy", "ml",
+                "--machine", "mixed",
+                "--batch-size", "6",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy=ml" in out
+        assert "batched prediction" in out
+
+    @pytest.mark.slow
+    def test_schedule_naive_mode(self, capsys):
+        assert main(
+            [
+                "schedule",
+                "--hosts", "2",
+                "--requests", "4",
+                "--naive",
+                "--vcpus", "16",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        # Naive mode re-enumerates per request (plus once per graded
+        # placement) instead of hitting the cache.
+        assert "cache: 0 hits, 0 misses" in out
+        runs = int(
+            out.split("enumeration pipeline runs: ")[1].split()[0]
+        )
+        assert runs >= 4
+
     @pytest.mark.slow
     def test_predict_with_goal(self, capsys):
         assert main(

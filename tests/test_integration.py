@@ -6,20 +6,17 @@ invariants that no single module owns.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     Placement,
     PlacementModel,
     build_training_set,
-    concerns_for,
     enumerate_important_placements,
 )
 from repro.perfsim import (
     PerformanceSimulator,
     WorkloadGenerator,
-    workload_by_name,
 )
 from repro.topology import TopologyBuilder
 from repro.topology.sysfs import machine_from_sysfs, machine_to_sysfs
