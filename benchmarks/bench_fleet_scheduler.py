@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import time
 
+from conftest import BENCH_SMOKE as SMOKE
+
 from repro.scheduler import (
     Fleet,
     FleetScheduler,
@@ -30,9 +32,10 @@ from repro.scheduler import (
 )
 from repro.topology import amd_opteron_6272
 
-FLEET_SIZES = (10, 100, 1000)
-FAST_REQUESTS = 200
-NAIVE_REQUESTS = 60  # the naive path is ~50x slower; keep the run bounded
+FLEET_SIZES = (10, 100) if SMOKE else (10, 100, 1000)
+FAST_REQUESTS = 40 if SMOKE else 200
+# The naive path is ~50x slower; keep the run bounded.
+NAIVE_REQUESTS = 10 if SMOKE else 60
 VCPUS_CHOICES = (8, 16)
 SEED = 7
 
@@ -107,4 +110,5 @@ def test_fleet_scheduler_throughput(report):
         "rerun plus single-row forest calls)",
     ]
     report("fleet_scheduler_throughput", "\n".join(lines))
-    assert speedup >= 5.0
+    if not SMOKE:
+        assert speedup >= 5.0

@@ -22,6 +22,16 @@ from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: CI's benchmark smoke step (REPRO_BENCH_SMOKE=1): benchmarks shrink to
+#: tiny sizes and skip wall-clock-ratio assertions, which shared runners
+#: are too noisy for.  Parsed once here so the accepted values cannot
+#: drift between benchmark modules.
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in (
+    "1",
+    "true",
+    "yes",
+)
+
 
 @pytest.fixture(scope="session")
 def report(request):

@@ -12,6 +12,10 @@ Subcommands mirror the paper's steps:
   mechanism (Table 2 / Section 7);
 * ``schedule`` — place a stream of heterogeneous container requests across
   a simulated fleet and print the fleet report (the scheduler subsystem).
+  With ``--churn``, requests also *depart*: the event-driven lifecycle
+  engine replays timestamped arrivals and departures, tracks
+  fragmentation, and (unless ``--no-rebalance``) recovers
+  fragmentation rejects with cost-gated container migrations.
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -161,8 +165,11 @@ def cmd_schedule(args) -> int:
         Fleet,
         FleetScheduler,
         GoalAwareFleetPolicy,
+        LifecycleScheduler,
         ModelRegistry,
+        RebalanceConfig,
         SpreadFleetPolicy,
+        generate_churn_stream,
         generate_request_stream,
     )
 
@@ -180,10 +187,21 @@ def cmd_schedule(args) -> int:
         raise SystemExit("--hosts must be >= 1")
     if args.requests < 1:
         raise SystemExit("--requests must be >= 1")
-    if args.batch_size < 1:
+    if args.batch_size is not None and args.batch_size < 1:
         raise SystemExit("--batch-size must be >= 1")
+    if args.churn and args.batch_size is not None:
+        raise SystemExit(
+            "--batch-size applies to the one-shot scheduler; the lifecycle "
+            "engine decides one event at a time"
+        )
     if args.trace < 0:
         raise SystemExit("--trace must be >= 0")
+    if args.arrival_rate <= 0:
+        raise SystemExit("--arrival-rate must be positive")
+    if args.mean_lifetime <= 0:
+        raise SystemExit("--mean-lifetime must be positive")
+    if args.penalty_seconds <= 0:
+        raise SystemExit("--penalty-seconds must be positive")
 
     if args.machine == "mixed":
         half = args.hosts // 2
@@ -193,9 +211,6 @@ def cmd_schedule(args) -> int:
     else:
         fleet = Fleet.homogeneous(_machine(args.machine), args.hosts)
 
-    requests = generate_request_stream(
-        args.requests, seed=args.seed, vcpus_choices=vcpus_choices
-    )
     registry = ModelRegistry(seed=args.seed, memoize_enumeration=not args.naive)
     if args.policy == "ml":
         policy = GoalAwareFleetPolicy(registry)
@@ -203,18 +218,47 @@ def cmd_schedule(args) -> int:
         policy = FirstFitFleetPolicy()
     else:
         policy = SpreadFleetPolicy()
-    scheduler = FleetScheduler(
-        fleet,
-        policy,
-        registry=registry,
-        batch_size=1 if args.naive else args.batch_size,
-    )
-    report = scheduler.run(requests)
+
+    if args.churn:
+        requests = generate_churn_stream(
+            args.requests,
+            seed=args.seed,
+            vcpus_choices=vcpus_choices,
+            arrival_rate=args.arrival_rate,
+            mean_lifetime=args.mean_lifetime,
+            heavy_tail=args.heavy_tail,
+        )
+        engine = LifecycleScheduler(
+            fleet,
+            policy,
+            registry=registry,
+            config=RebalanceConfig(
+                enabled=not args.no_rebalance,
+                reject_penalty_seconds=args.penalty_seconds,
+            ),
+        )
+        report = engine.run(requests)
+    else:
+        requests = generate_request_stream(
+            args.requests, seed=args.seed, vcpus_choices=vcpus_choices
+        )
+        batch_size = 64 if args.batch_size is None else args.batch_size
+        scheduler = FleetScheduler(
+            fleet,
+            policy,
+            registry=registry,
+            batch_size=1 if args.naive else batch_size,
+        )
+        report = scheduler.run(requests)
     print(report.describe())
     if args.trace:
         print()
         for graded in report.decisions[: args.trace]:
             print(f"  {graded.describe()}")
+        if report.churn is not None and report.churn.migrations:
+            print()
+            for record in report.churn.migrations[: args.trace]:
+                print(f"  {record.describe()}")
     return 0
 
 
@@ -287,7 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="8,16",
         help="comma-separated container sizes to sample (default 8,16)",
     )
-    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="requests decided per policy call (one-shot mode only; "
+        "default 64)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--naive",
@@ -300,7 +350,49 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="N",
-        help="also print the first N per-request decision traces",
+        help="also print the first N per-request decision traces "
+        "(and, with --churn, the first N migration traces)",
+    )
+    churn = p.add_argument_group(
+        "churn options", "dynamic lifecycle simulation (--churn)"
+    )
+    churn.add_argument(
+        "--churn",
+        action="store_true",
+        help="run the event-driven lifecycle engine: Poisson arrivals "
+        "with lifetimes, departures, fragmentation tracking, and "
+        "migration-driven rebalancing",
+    )
+    churn.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=1.0,
+        help="mean container arrivals per simulated second (default 1.0)",
+    )
+    churn.add_argument(
+        "--mean-lifetime",
+        type=float,
+        default=60.0,
+        help="mean container lifetime in simulated seconds (default 60)",
+    )
+    churn.add_argument(
+        "--heavy-tail",
+        action="store_true",
+        help="draw lifetimes from a heavy-tailed Pareto instead of an "
+        "exponential (same mean; a few containers pin nodes for ages)",
+    )
+    churn.add_argument(
+        "--no-rebalance",
+        action="store_true",
+        help="disable the fragmentation-triggered migration rebalancer "
+        "(the no-migration baseline)",
+    )
+    churn.add_argument(
+        "--penalty-seconds",
+        type=float,
+        default=120.0,
+        help="migration-time budget the rebalancer may spend to recover "
+        "one rejected request (default 120)",
     )
     p.set_defaults(func=cmd_schedule)
 

@@ -6,6 +6,14 @@ container ... Using the container's memory footprint, the user can estimate
 whether the migration cost warrants an online deployment of the placement
 algorithm, or if it is preferable to use it offline for placement of
 recurring jobs."
+
+The fleet scheduler consumes this advice live: the lifecycle engine's
+rebalancer (:class:`repro.scheduler.lifecycle.LifecycleScheduler`) calls
+:meth:`MigrationPlanner.advise` for every candidate container move when a
+request is rejected due to fragmentation, skips containers the planner
+deems offline-only, and executes a plan only when the summed migration
+time beats the configured rejection penalty
+(:class:`repro.scheduler.lifecycle.RebalanceConfig`).
 """
 
 from __future__ import annotations
@@ -78,7 +86,13 @@ class MigrationPlanner:
         *,
         probe_migrations: int = 2,
     ) -> MigrationAdvice:
-        """Pick an engine (or recommend offline placement) for a workload."""
+        """Pick an engine (or recommend offline placement) for a workload.
+
+        The lifecycle rebalancer calls this with ``probe_migrations=1``
+        (a rebalancing move is a single migration, not a probe pair) and
+        treats a ``"offline"`` recommendation as "this container is too
+        expensive to move online — pick another victim".
+        """
         if probe_migrations < 1:
             raise ValueError("probe_migrations must be >= 1")
         memory = ContainerMemory.from_profile(profile)

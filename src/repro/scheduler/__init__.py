@@ -11,14 +11,34 @@ with: the topology-fingerprint memo cache around placement enumeration
 (:mod:`repro.core.memo`) and the batched prediction path
 (:meth:`repro.core.model.PlacementModel.predict_batch`), which together
 turn a per-request cost into a per-machine-shape cost.
+
+:mod:`repro.scheduler.lifecycle` extends the one-shot scheduler into an
+online system: timestamped arrival/departure events, fleet-level release,
+fragmentation tracking, and a migration-driven rebalancer that consults
+:class:`repro.migration.planner.MigrationPlanner` before moving anything.
 """
 
+from repro.scheduler.events import (
+    EventKind,
+    EventQueue,
+    LifecycleEvent,
+    events_from_requests,
+)
 from repro.scheduler.fleet import (
     Fleet,
     FleetHost,
+    NodesBusyError,
+    UnknownNodeError,
     minimal_l2_share,
     minimal_node_count,
     minimal_shape,
+)
+from repro.scheduler.lifecycle import (
+    ChurnStats,
+    FragmentationSample,
+    LifecycleScheduler,
+    MigrationRecord,
+    RebalanceConfig,
 )
 from repro.scheduler.policies import (
     FirstFitFleetPolicy,
@@ -28,28 +48,46 @@ from repro.scheduler.policies import (
     SpreadFleetPolicy,
 )
 from repro.scheduler.registry import ModelRegistry
-from repro.scheduler.requests import PlacementRequest, generate_request_stream
+from repro.scheduler.requests import (
+    PlacementRequest,
+    generate_churn_stream,
+    generate_request_stream,
+)
 from repro.scheduler.scheduler import (
     FleetReport,
     FleetScheduler,
     GradedDecision,
+    grade_decision,
 )
 
 __all__ = [
+    "ChurnStats",
+    "EventKind",
+    "EventQueue",
     "Fleet",
     "FleetHost",
     "FleetDecision",
     "FleetPolicy",
     "FirstFitFleetPolicy",
+    "FragmentationSample",
+    "LifecycleEvent",
+    "LifecycleScheduler",
+    "MigrationRecord",
+    "NodesBusyError",
+    "RebalanceConfig",
     "SpreadFleetPolicy",
     "GoalAwareFleetPolicy",
+    "UnknownNodeError",
+    "events_from_requests",
     "minimal_node_count",
     "minimal_l2_share",
     "minimal_shape",
     "ModelRegistry",
     "PlacementRequest",
+    "generate_churn_stream",
     "generate_request_stream",
     "FleetReport",
     "FleetScheduler",
     "GradedDecision",
+    "grade_decision",
 ]

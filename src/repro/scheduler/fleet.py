@@ -24,9 +24,39 @@ from repro.topology.machine import MachineTopology
 #: Scores a candidate node block (higher = better interconnect bandwidth).
 BlockScorer = Callable[[FrozenSet[int]], float]
 
+#: Interconnect scores within this of each other are the same score even
+#: when they straddle a 3-decimal rounding boundary (the granularity the
+#: enumeration rounds scores to).
+SCORE_TOLERANCE = 5e-4
+
+
+def scores_match(score: float, target: float) -> bool:
+    """Whether two interconnect scores identify the same block class.
+
+    Two conditions, because each covers the other's blind spot: the
+    absolute tolerance catches scores a hair's width apart that round to
+    different 3-decimal buckets (the silent-rejection bug), while the
+    rounded comparison keeps accepting scores in the same bucket that sit
+    up to a full rounding step apart — which the enumeration, deduping on
+    ``round(score, 3)``, treats as identical.
+    """
+    return abs(score - target) <= SCORE_TOLERANCE or round(score, 3) == round(
+        target, 3
+    )
+
+
+class UnknownNodeError(ValueError):
+    """A placement names node ids the host's machine does not have."""
+
+
+class NodesBusyError(ValueError):
+    """A placement names nodes that exist but are already claimed."""
+
 
 def minimal_l2_share(machine: MachineTopology, per_node_vcpus: int) -> int:
     """Smallest L2 sharing degree that fits ``per_node_vcpus`` in a node."""
+    if per_node_vcpus < 1:
+        raise ValueError(f"per_node_vcpus must be >= 1, got {per_node_vcpus}")
     for share in range(1, machine.threads_per_l2 + 1):
         if per_node_vcpus % share:
             continue
@@ -47,6 +77,8 @@ def minimal_shape(machine: MachineTopology, vcpus: int) -> Tuple[int, int]:
     on a 4-L2-group node cannot balance on 2 nodes but can on 5), so the
     search advances to the next node count when the L2 constraint fails.
     """
+    if vcpus < 1:
+        raise ValueError(f"vcpus must be >= 1, got {vcpus}")
     for n in range(1, machine.n_nodes + 1):
         if vcpus % n or vcpus // n > machine.threads_per_node:
             continue
@@ -63,13 +95,33 @@ def minimal_node_count(machine: MachineTopology, vcpus: int) -> int:
 
 
 class FleetHost:
-    """One machine in the fleet, with free-node bookkeeping."""
+    """One machine in the fleet, with free-node bookkeeping.
 
-    def __init__(self, host_id: int, machine: MachineTopology) -> None:
+    Parameters
+    ----------
+    host_id:
+        Position in the fleet's host list.
+    machine:
+        The host's machine shape.
+    location_index:
+        Optional shared ``request_id -> host_id`` mapping kept in sync by
+        :meth:`allocate` / :meth:`release`.  :class:`Fleet` passes its own
+        index so fleet-level release is an O(1) lookup; standalone hosts
+        leave it ``None``.
+    """
+
+    def __init__(
+        self,
+        host_id: int,
+        machine: MachineTopology,
+        *,
+        location_index: Dict[int, int] | None = None,
+    ) -> None:
         self.host_id = host_id
         self.machine = machine
         self._free_nodes: set = set(machine.nodes)
         self._placements: Dict[int, Placement] = {}
+        self._location_index = location_index
 
     # ------------------------------------------------------------------
     # Capacity
@@ -100,6 +152,19 @@ class FleetHost:
     def node_utilization(self) -> float:
         return 1.0 - len(self._free_nodes) / self.machine.n_nodes
 
+    @property
+    def largest_free_block(self) -> int:
+        """Largest node block this host can still grant.
+
+        Placements claim whole nodes and a block may be *any* subset of
+        free nodes, so within one host the largest grantable block is
+        simply the free-node count — fragmentation in this model lives
+        *across* hosts (free capacity scattered in per-host chunks too
+        small for the next container), which is what the lifecycle
+        engine's fragmentation timeline tracks.
+        """
+        return len(self._free_nodes)
+
     # ------------------------------------------------------------------
     # Block search and allocation
     # ------------------------------------------------------------------
@@ -110,26 +175,35 @@ class FleetHost:
         scorer: BlockScorer,
         *,
         target_score: float | None = None,
+        exclude: Iterable[int] = (),
     ) -> Tuple[int, ...] | None:
         """A free node block of ``size`` nodes.
 
+        ``exclude`` removes free nodes from consideration — the rebalancer
+        plans several migrations before executing any, so nodes already
+        promised to an earlier migration in the same plan must not be
+        offered twice.
+
         With a ``target_score`` the block must match that interconnect
-        score (rounded, as everywhere in the enumeration) — that is how a
-        concrete block is found for an important placement chosen on score
-        alone.  Without one, the best-scoring free block wins (the
-        Smart-Aggressive rule: highest interconnect bandwidth).
+        score per :func:`scores_match` — that is how a concrete block is
+        found for an important placement chosen on score alone.  (A pure
+        rounded-bucket comparison would reject scores a hair's width apart
+        that happen to straddle a rounding boundary, silently losing the
+        block and rejecting the request despite capacity.)  Without one,
+        the best-scoring free block wins (the Smart-Aggressive rule:
+        highest interconnect bandwidth).
         """
         if size < 1:
             raise ValueError("block size must be >= 1")
-        if size > len(self._free_nodes):
+        free = sorted(self._free_nodes - set(exclude))
+        if size > len(free):
             return None
-        free = sorted(self._free_nodes)
         best: Tuple[int, ...] | None = None
         best_score = float("-inf")
         for combo in itertools.combinations(free, size):
             score = scorer(frozenset(combo))
             if target_score is not None:
-                if round(score, 3) == round(target_score, 3):
+                if scores_match(score, target_score):
                     return combo
                 continue
             if score > best_score:
@@ -138,15 +212,44 @@ class FleetHost:
         return best
 
     def allocate(self, request_id: int, placement: Placement) -> None:
-        """Claim the placement's nodes for a request."""
+        """Claim the placement's nodes for a request.
+
+        Raises :class:`UnknownNodeError` when the placement names node ids
+        the machine does not have (a placement built for the wrong shape —
+        a lifecycle release/re-allocate bug) and :class:`NodesBusyError`
+        when the nodes exist but are already claimed (a genuine capacity
+        conflict).  Both are ``ValueError`` subclasses, but they surface
+        very different bugs.
+        """
         if request_id in self._placements:
             raise ValueError(f"request {request_id} is already on host")
+        if (
+            self._location_index is not None
+            and request_id in self._location_index
+        ):
+            # Without this check a same-id allocation on a second host
+            # would overwrite the fleet's location index and orphan the
+            # first host's nodes forever.
+            raise ValueError(
+                f"request {request_id} is already placed on host "
+                f"{self._location_index[request_id]} in this fleet"
+            )
         nodes = set(placement.nodes)
+        unknown = sorted(nodes - set(self.machine.nodes))
+        if unknown:
+            raise UnknownNodeError(
+                f"nodes {unknown} do not exist on host {self.host_id} "
+                f"({self.machine.name} has nodes 0..{self.machine.n_nodes - 1})"
+            )
         if not nodes <= self._free_nodes:
             taken = sorted(nodes - self._free_nodes)
-            raise ValueError(f"nodes {taken} are not free on host {self.host_id}")
+            raise NodesBusyError(
+                f"nodes {taken} are not free on host {self.host_id}"
+            )
         self._free_nodes -= nodes
         self._placements[request_id] = placement
+        if self._location_index is not None:
+            self._location_index[request_id] = self.host_id
 
     def release(self, request_id: int) -> Placement:
         """Return a departed container's nodes to the free pool."""
@@ -154,6 +257,8 @@ class FleetHost:
         if placement is None:
             raise KeyError(f"request {request_id} is not on host {self.host_id}")
         self._free_nodes |= set(placement.nodes)
+        if self._location_index is not None:
+            self._location_index.pop(request_id, None)
         return placement
 
 
@@ -172,8 +277,9 @@ class Fleet:
     def __init__(self, machines: Sequence[MachineTopology]) -> None:
         if not machines:
             raise ValueError("a fleet needs at least one host")
+        self._locations: Dict[int, int] = {}
         self.hosts: List[FleetHost] = [
-            FleetHost(host_id, machine)
+            FleetHost(host_id, machine, location_index=self._locations)
             for host_id, machine in enumerate(machines)
         ]
 
@@ -220,6 +326,23 @@ class Fleet:
             seen.setdefault(host.machine.fingerprint(), host.machine)
         return list(seen.values())
 
+    def locate(self, request_id: int) -> int | None:
+        """Host id currently running a request, or None if not placed."""
+        return self._locations.get(request_id)
+
+    def release(self, request_id: int) -> Tuple[int, Placement]:
+        """Free a departed request's node block, wherever it landed.
+
+        The request-id -> host-index mapping is maintained by the hosts'
+        allocate/release bookkeeping, so this is an O(1) lookup rather
+        than a fleet scan.  Returns ``(host_id, placement)``; raises
+        ``KeyError`` for unknown (or already released) request ids.
+        """
+        host_id = self._locations.get(request_id)
+        if host_id is None:
+            raise KeyError(f"request {request_id} is not placed in the fleet")
+        return host_id, self.hosts[host_id].release(request_id)
+
     def hosts_by_load(self) -> List[FleetHost]:
         """Hosts sorted emptiest-first (the spread policy's scan order)."""
         return sorted(
@@ -244,6 +367,21 @@ class Fleet:
         total = sum(host.machine.n_nodes for host in self.hosts)
         free = sum(host.n_free_nodes for host in self.hosts)
         return 1.0 - free / total
+
+    @property
+    def free_nodes_total(self) -> int:
+        """Free nodes summed over all hosts (raw spare capacity)."""
+        return sum(host.n_free_nodes for host in self.hosts)
+
+    @property
+    def largest_free_block(self) -> int:
+        """The biggest node block any single host can still grant.
+
+        The gap between this and :attr:`free_nodes_total` is the fleet's
+        fragmentation: plenty of spare nodes overall, none of them
+        together on one host.
+        """
+        return max(host.largest_free_block for host in self.hosts)
 
     def utilization_summary(self) -> str:
         per_host = [host.thread_utilization for host in self.hosts]

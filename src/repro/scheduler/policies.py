@@ -82,6 +82,22 @@ class FleetPolicy(abc.ABC):
         """One decision per request, in order; placed requests are already
         allocated on their host when this returns."""
 
+    def min_block_nodes(
+        self, machine: MachineTopology, vcpus: int
+    ) -> int | None:
+        """Smallest free node block this policy could use for ``vcpus`` on
+        a shape, or None when the shape cannot host them at all.
+
+        The lifecycle rebalancer consolidates exactly this many nodes
+        before retrying a fragmentation-rejected request, so a policy
+        whose placements need bigger blocks than the minimal balanced
+        shape must override this (see :class:`GoalAwareFleetPolicy`).
+        """
+        try:
+            return minimal_shape(machine, vcpus)[0]
+        except ValueError:
+            return None
+
 
 class _HeuristicFleetPolicy(FleetPolicy):
     """Shared machinery of the model-free policies."""
@@ -222,6 +238,18 @@ class GoalAwareFleetPolicy(FleetPolicy):
         self.predict_calls += 1
         self.predicted_rows += len(group)
         return placements, vectors
+
+    def min_block_nodes(
+        self, machine: MachineTopology, vcpus: int
+    ) -> int | None:
+        """The goal-aware policy only instantiates important placements,
+        whose smallest block can exceed the minimal balanced shape
+        (Algorithm 2 keeps only blocks that tile the whole machine)."""
+        try:
+            placements = self.registry.placements(machine, vcpus)
+            return min(p.n_nodes for p in placements)
+        except ValueError:  # unhostable shape, or no important placements
+            return None
 
     @staticmethod
     def _scorer(placements: ImportantPlacementSet):

@@ -11,6 +11,12 @@ and 1.1).
 for experiments and benchmarks: workloads drawn from the paper's 18
 applications (optionally jittered into synthetic variants), mixed vCPU
 sizes, and a mix of goal-bearing and best-effort requests.
+
+For the dynamic lifecycle engine (:mod:`repro.scheduler.lifecycle`), a
+request additionally carries an ``arrival_time`` and an optional
+``lifetime``; :func:`generate_churn_stream` draws Poisson arrivals and
+exponential or heavy-tailed (Pareto) lifetimes, the churn regime where
+containers arrive *and* leave and free capacity fragments across hosts.
 """
 
 from __future__ import annotations
@@ -27,22 +33,40 @@ from repro.perfsim.workload import WorkloadProfile
 
 @dataclass(frozen=True)
 class PlacementRequest:
-    """One container arriving at the fleet scheduler."""
+    """One container arriving at the fleet scheduler.
+
+    ``arrival_time`` and ``lifetime`` (both in simulated seconds) only
+    matter to the event-driven lifecycle engine; the one-shot scheduler
+    ignores them.  ``lifetime=None`` means the container never departs.
+    """
 
     request_id: int
     profile: WorkloadProfile
     vcpus: int
     goal_fraction: float | None = None
+    arrival_time: float = 0.0
+    lifetime: float | None = None
 
     def __post_init__(self) -> None:
         if self.vcpus < 1:
             raise ValueError("vcpus must be >= 1")
         if self.goal_fraction is not None and self.goal_fraction <= 0:
             raise ValueError("goal_fraction must be positive")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+        if self.lifetime is not None and self.lifetime <= 0:
+            raise ValueError("lifetime must be positive")
 
     @property
     def workload_name(self) -> str:
         return self.profile.name
+
+    @property
+    def departure_time(self) -> float | None:
+        """When the container leaves, or None if it stays forever."""
+        if self.lifetime is None:
+            return None
+        return self.arrival_time + self.lifetime
 
     def describe(self) -> str:
         goal = (
@@ -103,6 +127,77 @@ def generate_request_stream(
                 profile=profile,
                 vcpus=vcpus,
                 goal_fraction=goal,
+            )
+        )
+    return requests
+
+
+def generate_churn_stream(
+    n_requests: int,
+    *,
+    seed: int = 0,
+    arrival_rate: float = 1.0,
+    mean_lifetime: float = 60.0,
+    heavy_tail: bool = False,
+    pareto_shape: float = 1.5,
+    immortal_fraction: float = 0.0,
+    vcpus_choices: Sequence[int] = (8, 16),
+    goal_choices: Sequence[float | None] = (None, 0.9, 1.0),
+    jitter: float = 0.0,
+) -> List[PlacementRequest]:
+    """A deterministic churn stream: timestamped arrivals with lifetimes.
+
+    Arrivals form a Poisson process of intensity ``arrival_rate``
+    (exponential inter-arrival gaps).  Lifetimes are exponential with mean
+    ``mean_lifetime``, or — with ``heavy_tail=True`` — Lomax/Pareto-II
+    with shape ``pareto_shape`` rescaled to the same mean, the
+    "most containers are short-lived, a few pin their nodes for ages"
+    distribution that fragments a fleet fastest.  A ``pareto_shape`` of at
+    most 1 has no finite mean, so it must be > 1.
+
+    ``immortal_fraction`` of requests get ``lifetime=None`` (they never
+    depart — long-running services between which the churning batch jobs
+    must fit).
+    """
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if mean_lifetime <= 0:
+        raise ValueError("mean_lifetime must be positive")
+    if heavy_tail and pareto_shape <= 1.0:
+        raise ValueError("pareto_shape must be > 1 for a finite mean lifetime")
+    if not 0.0 <= immortal_fraction < 1.0:
+        raise ValueError("immortal_fraction must be in [0, 1)")
+
+    base = generate_request_stream(
+        n_requests,
+        seed=seed,
+        vcpus_choices=vcpus_choices,
+        goal_choices=goal_choices,
+        jitter=jitter,
+    )
+    rng = np.random.default_rng(seed + 1)
+    clock = 0.0
+    requests: List[PlacementRequest] = []
+    for request in base:
+        clock += float(rng.exponential(1.0 / arrival_rate))
+        if immortal_fraction > 0 and rng.random() < immortal_fraction:
+            lifetime = None
+        elif heavy_tail:
+            # Lomax(shape) has mean 1/(shape-1); rescale to mean_lifetime.
+            draw = float(rng.pareto(pareto_shape))
+            lifetime = max(draw * mean_lifetime * (pareto_shape - 1.0), 1e-6)
+        else:
+            lifetime = max(float(rng.exponential(mean_lifetime)), 1e-6)
+        requests.append(
+            PlacementRequest(
+                request_id=request.request_id,
+                profile=request.profile,
+                vcpus=request.vcpus,
+                goal_fraction=request.goal_fraction,
+                arrival_time=clock,
+                lifetime=lifetime,
             )
         )
     return requests

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from repro.scheduler.policies import (
 )
 from repro.scheduler.registry import ModelRegistry
 from repro.scheduler.requests import PlacementRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.scheduler.lifecycle import ChurnStats
 
 
 @dataclass
@@ -54,6 +57,34 @@ class GradedDecision:
         return text
 
 
+def grade_decision(
+    decision: FleetDecision, fleet: Fleet, registry: ModelRegistry
+) -> GradedDecision:
+    """Grade one decision: achieved performance in the realized placement
+    relative to the shape's baseline, through the registry's simulator.
+
+    Shared by the one-shot :class:`FleetScheduler` and the event-driven
+    :class:`~repro.scheduler.lifecycle.LifecycleScheduler`, so both grade
+    bit-for-bit identically.
+    """
+    if not decision.placed:
+        return GradedDecision(decision)
+    request = decision.request
+    host = fleet.hosts[decision.host_id]
+    simulator = registry.simulator(host.machine)
+    baseline = registry.baseline_placement(host.machine, request.vcpus)
+    achieved = simulator.measured_ipc(
+        request.profile, decision.placement, noise=False
+    ) / simulator.measured_ipc(request.profile, baseline, noise=False)
+    violated = (
+        request.goal_fraction is not None
+        and achieved < request.goal_fraction
+    )
+    return GradedDecision(
+        decision, achieved_relative=float(achieved), violated=violated
+    )
+
+
 @dataclass
 class FleetReport:
     """Fleet-level outcome of scheduling one request stream."""
@@ -70,8 +101,43 @@ class FleetReport:
     enumeration_runs: int = 0
     predict_calls: int = 0
     predicted_rows: int = 0
+    #: Lifecycle statistics (departures, migrations, fragmentation
+    #: timeline) — only set by the event-driven LifecycleScheduler.
+    churn: "ChurnStats | None" = None
 
     # ------------------------------------------------------------------
+
+    @classmethod
+    def collect(
+        cls,
+        *,
+        policy: FleetPolicy,
+        fleet: Fleet,
+        registry: ModelRegistry,
+        n_requests: int,
+        decisions: List[GradedDecision],
+        elapsed_seconds: float,
+        churn: "ChurnStats | None" = None,
+    ) -> "FleetReport":
+        """Assemble a report from end-of-run state — the single place the
+        fleet/registry/policy counters are folded in, shared by the
+        one-shot and lifecycle schedulers so their reports cannot drift."""
+        per_host = [h.thread_utilization for h in fleet.hosts]
+        return cls(
+            policy=policy.name,
+            n_hosts=len(fleet),
+            n_requests=n_requests,
+            decisions=decisions,
+            elapsed_seconds=elapsed_seconds,
+            thread_utilization=fleet.thread_utilization,
+            node_utilization=fleet.node_utilization,
+            busiest_host_utilization=max(per_host) if per_host else 0.0,
+            cache_info=registry.enumeration_cache.info(),
+            enumeration_runs=registry.enumeration_runs(),
+            predict_calls=getattr(policy, "predict_calls", 0),
+            predicted_rows=getattr(policy, "predicted_rows", 0),
+            churn=churn,
+        )
 
     @property
     def placed(self) -> int:
@@ -152,6 +218,8 @@ class FleetReport:
                 f"  batched prediction: {self.predicted_rows} vectors in "
                 f"{self.predict_calls} forest calls"
             )
+        if self.churn is not None:
+            lines.append(self.churn.describe())
         lines.append(
             f"  elapsed {self.elapsed_seconds:.2f} s -> "
             f"{self.requests_per_second:.1f} requests/s"
@@ -198,22 +266,7 @@ class FleetScheduler:
     # ------------------------------------------------------------------
 
     def _grade(self, decision: FleetDecision) -> GradedDecision:
-        if not decision.placed:
-            return GradedDecision(decision)
-        request = decision.request
-        host = self.fleet.hosts[decision.host_id]
-        simulator = self.registry.simulator(host.machine)
-        baseline = self.registry.baseline_placement(host.machine, request.vcpus)
-        achieved = simulator.measured_ipc(
-            request.profile, decision.placement, noise=False
-        ) / simulator.measured_ipc(request.profile, baseline, noise=False)
-        violated = (
-            request.goal_fraction is not None
-            and achieved < request.goal_fraction
-        )
-        return GradedDecision(
-            decision, achieved_relative=float(achieved), violated=violated
-        )
+        return grade_decision(decision, self.fleet, self.registry)
 
     def run(self, requests: Sequence[PlacementRequest]) -> FleetReport:
         """Schedule the whole stream and return the fleet report."""
@@ -235,18 +288,11 @@ class FleetScheduler:
                 graded.append(entry)
         elapsed = time.perf_counter() - start
 
-        per_host = [h.thread_utilization for h in self.fleet.hosts]
-        return FleetReport(
-            policy=self.policy.name,
-            n_hosts=len(self.fleet),
+        return FleetReport.collect(
+            policy=self.policy,
+            fleet=self.fleet,
+            registry=self.registry,
             n_requests=len(requests),
             decisions=graded,
             elapsed_seconds=elapsed,
-            thread_utilization=self.fleet.thread_utilization,
-            node_utilization=self.fleet.node_utilization,
-            busiest_host_utilization=max(per_host) if per_host else 0.0,
-            cache_info=self.registry.enumeration_cache.info(),
-            enumeration_runs=self.registry.enumeration_runs(),
-            predict_calls=getattr(self.policy, "predict_calls", 0),
-            predicted_rows=getattr(self.policy, "predicted_rows", 0),
         )

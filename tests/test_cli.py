@@ -81,6 +81,51 @@ class TestCli:
             with pytest.raises(SystemExit):
                 main(["schedule", *flags])
 
+    def test_schedule_churn(self, capsys):
+        assert main(
+            [
+                "schedule",
+                "--churn",
+                "--hosts", "4",
+                "--requests", "100",
+                "--policy", "spread",
+                "--machine", "amd",
+                "--vcpus", "8,8,8,32",
+                "--mean-lifetime", "20",
+                "--heavy-tail",
+                "--seed", "11",
+                "--trace", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "churn:" in out and "departures" in out
+        assert "rebalancer:" in out
+        assert "migrate req#" in out  # at least one migration trace printed
+
+    def test_schedule_churn_no_rebalance(self, capsys):
+        assert main(
+            [
+                "schedule",
+                "--churn",
+                "--no-rebalance",
+                "--hosts", "2",
+                "--requests", "20",
+                "--policy", "first-fit",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rebalancer: 0 migrations" in out
+
+    def test_schedule_rejects_bad_churn_options(self):
+        for flags in (
+            ["--arrival-rate", "0"],
+            ["--mean-lifetime", "-3"],
+            ["--penalty-seconds", "0"],
+            ["--batch-size", "8"],  # one-shot-only flag
+        ):
+            with pytest.raises(SystemExit):
+                main(["schedule", "--churn", *flags])
+
     @pytest.mark.slow
     def test_schedule_ml_mixed_fleet(self, capsys):
         assert main(
