@@ -20,6 +20,7 @@ smoke step): same assertions, a fraction of the runtime.
 from __future__ import annotations
 
 from conftest import BENCH_SMOKE as SMOKE
+from conftest import record_bench
 
 from repro.scheduler import (
     Fleet,
@@ -85,6 +86,24 @@ def test_churn_rebalancing_recovers_fit_failures(report):
         "and gated on the rejection penalty)",
     ]
     report("churn_rebalancing", "\n".join(lines))
+
+    record_bench(
+        "churn",
+        {
+            "scenario": "spread policy, heavy-tailed churn, "
+            f"{N_HOSTS} AMD hosts, seed {SEED}",
+            "hosts": N_HOSTS,
+            "requests": N_REQUESTS,
+            "events_per_second": round(
+                baseline.n_requests * 2 / max(baseline.elapsed_seconds, 1e-9),
+                1,
+            ),
+            "fit_failures_baseline": baseline.churn.fit_failures,
+            "fit_failures_rebalanced": churn.fit_failures,
+            "migrations": churn.n_migrations,
+            "migrated_gb": round(churn.migrated_gb, 1),
+        },
+    )
 
     assert baseline.churn.n_migrations == 0
     assert churn.n_migrations >= 1, "rebalancer never fired"

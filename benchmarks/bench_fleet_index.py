@@ -1,0 +1,139 @@
+"""Fleet index benchmark: sub-linear host selection, with equivalence gate.
+
+Runs the heuristic policies (no model, no simulator — pure placement
+machinery, so the host-selection cost dominates) through the same stream
+twice per policy: once on the linear scan over ``fleet.hosts``, once on
+the incremental ``FleetIndex`` + shared block-score tables.  Asserts, in
+every mode including the CI smoke run:
+
+* **decision equivalence** — the indexed scan picks exactly the hosts and
+  node blocks the linear scan picks, request for request (the hard gate;
+  a mismatch fails the build);
+* **index consistency** — after the run, every index counter equals a
+  from-scratch recomputation;
+* (full mode only) the indexed path is faster at the largest fleet.
+
+The goal-aware policy's equivalence on churn streams is covered by
+``tests/scheduler/test_index.py``; its throughput by
+``bench_fleet_scheduler.py``.  Results go to ``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_SMOKE as SMOKE
+from conftest import record_bench
+
+from repro.scheduler import (
+    Fleet,
+    FirstFitFleetPolicy,
+    SpreadFleetPolicy,
+    generate_request_stream,
+)
+from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
+
+N_HOSTS = 40 if SMOKE else 1000
+# Enough requests to fill most of the fleet: the linear scan's cost grows
+# as early hosts fill (every request walks past them) while the indexed
+# scan's shrinks (full hosts drop out of the candidate buckets) — the
+# regime the index exists for.
+N_REQUESTS = 120 if SMOKE else 2500
+SEED = 13
+
+
+def _fleet():
+    # Mixed shapes so bucket iteration spans several fingerprints.
+    half = N_HOSTS // 2
+    return Fleet.mixed(
+        [
+            (amd_opteron_6272(), N_HOSTS - half),
+            (intel_xeon_e7_4830_v3(), half),
+        ]
+    )
+
+
+def _run(policy):
+    requests = generate_request_stream(
+        N_REQUESTS, seed=SEED, vcpus_choices=(4, 8, 16)
+    )
+    fleet = _fleet()
+    start = time.perf_counter()
+    decisions = policy.decide_batch(requests, fleet)
+    elapsed = time.perf_counter() - start
+    return fleet, decisions, N_REQUESTS / elapsed
+
+
+def _fingerprints(decisions):
+    return [
+        (
+            d.request.request_id,
+            d.host_id,
+            None if d.placement is None else d.placement.nodes,
+            d.reject_reason,
+        )
+        for d in decisions
+    ]
+
+
+def test_indexed_scan_equivalent_and_fast(report):
+    lines = [
+        f"heuristic policies, mixed AMD/Intel fleet ({N_HOSTS} hosts, "
+        f"{N_REQUESTS} requests, seed {SEED}{', SMOKE' if SMOKE else ''}):",
+        "",
+        f"{'policy':>10} {'linear req/s':>13} {'indexed req/s':>14} "
+        f"{'speedup':>8}",
+    ]
+    results = {}
+    for name, factory in (
+        ("first-fit", FirstFitFleetPolicy),
+        ("spread", SpreadFleetPolicy),
+    ):
+        fleet_linear, linear, linear_rps = _run(factory(indexed=False))
+        fleet_indexed, indexed, indexed_rps = _run(factory(indexed=True))
+
+        # The hard gate: indexed and linear scans must be
+        # decision-for-decision identical.
+        assert _fingerprints(indexed) == _fingerprints(linear), (
+            f"{name}: indexed scan diverged from the linear scan"
+        )
+        # And the incrementally maintained index must agree with a
+        # from-scratch recomputation after the whole stream.
+        fleet_indexed.index.assert_consistent(fleet_indexed.hosts)
+
+        speedup = indexed_rps / linear_rps
+        results[name] = {
+            "linear_rps": round(linear_rps, 1),
+            "indexed_rps": round(indexed_rps, 1),
+            "speedup": round(speedup, 2),
+        }
+        lines.append(
+            f"{name:>10} {linear_rps:>13.1f} {indexed_rps:>14.1f} "
+            f"{speedup:>7.1f}x"
+        )
+
+    lines += [
+        "",
+        "equivalence gate: indexed decisions identical to linear-scan "
+        "decisions on both policies (asserted), index counters match "
+        "from-scratch recomputation (asserted)",
+    ]
+    report("fleet_index", "\n".join(lines))
+
+    record_bench(
+        "fleet_index",
+        {
+            "scenario": "heuristic policies, mixed AMD/Intel fleet, "
+            f"seed {SEED}",
+            "hosts": N_HOSTS,
+            "requests": N_REQUESTS,
+            "policies": results,
+            "equivalent": True,
+        },
+    )
+    if not SMOKE:
+        for name, numbers in results.items():
+            assert numbers["speedup"] > 1.0, (
+                f"{name}: indexed scan must beat the linear scan at "
+                f"{N_HOSTS} hosts"
+            )

@@ -9,7 +9,9 @@ representative kernel of the experiment.
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 import sys
 
 import pytest
@@ -31,6 +33,56 @@ BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in (
     "true",
     "yes",
 )
+
+#: Machine-readable perf trajectory, committed at the repository root so
+#: future PRs can diff their numbers against the recorded ones (and CI
+#: uploads it as an artifact).  Smoke runs write tiny-size numbers under
+#: separate ``*_smoke`` keys and never touch the full-size entries —
+#: regression comparisons only compare like with like.
+BENCH_JSON = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_fleet.json")
+)
+
+
+def _current_commit() -> str:
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(BENCH_JSON),
+            timeout=10,
+        )
+        commit = result.stdout.strip()
+        return commit or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def record_bench(scenario: str, payload: dict) -> None:
+    """Merge one scenario's numbers into ``BENCH_fleet.json``.
+
+    Read-merge-write so the fleet-scheduler, index, and churn benchmarks
+    (and future ones) share the file without clobbering each other.
+    Smoke runs record under a separate ``<scenario>_smoke`` key, so the
+    committed full-size trajectory survives a developer (or CI) running
+    the documented ``REPRO_BENCH_SMOKE=1`` command.
+    """
+    data: dict = {}
+    if os.path.exists(BENCH_JSON):
+        try:
+            with open(BENCH_JSON, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    commit = _current_commit()
+    data["commit"] = commit
+    scenarios = data.setdefault("scenarios", {})
+    key = f"{scenario}_smoke" if BENCH_SMOKE else scenario
+    scenarios[key] = {"commit": commit, "smoke": BENCH_SMOKE, **payload}
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

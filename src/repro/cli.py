@@ -211,13 +211,18 @@ def cmd_schedule(args) -> int:
     else:
         fleet = Fleet.homogeneous(_machine(args.machine), args.hosts)
 
-    registry = ModelRegistry(seed=args.seed, memoize_enumeration=not args.naive)
+    indexed = not (args.naive or args.linear_scan)
+    registry = ModelRegistry(
+        seed=args.seed,
+        memoize_enumeration=not args.naive,
+        memoize_ipc=not args.naive,
+    )
     if args.policy == "ml":
-        policy = GoalAwareFleetPolicy(registry)
+        policy = GoalAwareFleetPolicy(registry, indexed=indexed)
     elif args.policy == "first-fit":
-        policy = FirstFitFleetPolicy()
+        policy = FirstFitFleetPolicy(indexed=indexed)
     else:
-        policy = SpreadFleetPolicy()
+        policy = SpreadFleetPolicy(indexed=indexed)
 
     if args.churn:
         requests = generate_churn_stream(
@@ -342,8 +347,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--naive",
         action="store_true",
-        help="disable the enumeration memo cache and batched prediction "
-        "(the per-request baseline the benchmark compares against)",
+        help="disable every scale optimization: enumeration memo cache, "
+        "batched prediction, fleet index, block-score tables, and the "
+        "grading IPC memo (the per-request baseline the benchmark "
+        "compares against)",
+    )
+    p.add_argument(
+        "--linear-scan",
+        action="store_true",
+        help="keep the caches but scan all hosts per request instead of "
+        "querying the incremental fleet index (the pre-index baseline; "
+        "decisions are identical, only slower)",
     )
     p.add_argument(
         "--trace",

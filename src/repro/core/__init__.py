@@ -27,7 +27,16 @@ from repro.core.memo import (
     DEFAULT_ENUMERATION_CACHE,
     CacheInfo,
     EnumerationCache,
+    cached_block_score_table,
     cached_enumerate_important_placements,
+)
+from repro.core.blockscores import (
+    DEFAULT_BLOCK_SCORE_CACHE,
+    SCORE_TOLERANCE,
+    BlockScoreCache,
+    BlockScoreTable,
+    block_score_table,
+    scores_match,
 )
 from repro.core.model import HpeModel, ModelEvaluation, PlacementModel
 from repro.core.training import (
@@ -98,6 +107,13 @@ __all__ = [
     "CacheInfo",
     "EnumerationCache",
     "DEFAULT_ENUMERATION_CACHE",
+    "BlockScoreCache",
+    "BlockScoreTable",
+    "DEFAULT_BLOCK_SCORE_CACHE",
+    "SCORE_TOLERANCE",
+    "block_score_table",
+    "scores_match",
+    "cached_block_score_table",
     "cached_enumerate_important_placements",
     "enumerate_important_placements",
     "generate_scores",

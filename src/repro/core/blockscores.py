@@ -1,0 +1,304 @@
+"""Shared per-shape block-score tables.
+
+``FleetHost.find_block`` used to re-score ``itertools.combinations`` of the
+host's free nodes on every call — per request, per host, per candidate
+rank.  But a block's interconnect score depends only on the machine shape
+and the node subset, never on the host, so a fleet of a thousand
+identically shaped hosts asks the exact same questions a thousand times
+over.  A :class:`BlockScoreTable` answers them from a table instead: it
+scores every node subset of one machine shape exactly once and keeps
+
+* a ``frozenset -> score`` map (direct score lookups),
+* per block size, the enumeration-rank order and the best-score-first
+  order (the Smart-Aggressive "highest bandwidth wins" rule), and
+* an inverted ``rounded score -> blocks`` map, so finding a free block
+  matching a target interconnect score is a bucket probe instead of a
+  combinations loop.
+
+Lookups are *bit-for-bit equivalent* to the naive loop in
+``FleetHost.find_block``: the same tolerance rules
+(:func:`repro.scheduler.fleet.scores_match`), the same tie-breaking (first
+block in combinations order wins), the same floats (scores come from the
+same scorer).  ``tests/core/test_blockscores.py`` asserts the equivalence
+exhaustively.
+
+Tables are cached per ``(machine fingerprint, scorer kind)`` in a
+:class:`BlockScoreCache` (same accounting scheme as
+:class:`repro.core.memo.EnumerationCache`); all hosts of one shape share
+one table.  Machines with more than :data:`MAX_TABLE_NODES` nodes would
+need exponentially many entries, so :func:`block_score_table` returns
+``None`` for them and callers fall back to the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+import itertools
+
+from repro.core.memo import CacheInfo
+from repro.topology.machine import MachineTopology
+
+#: Largest machine (in NUMA nodes) a table is built for: 2^12 = 4096
+#: subsets.  Beyond that the table costs more than the loops it replaces.
+MAX_TABLE_NODES = 12
+
+#: Decimals used for the inverted score buckets — the granularity the
+#: enumeration rounds scores to (see ``repro.core.concerns.SCORE_DECIMALS``).
+_BUCKET_DECIMALS = 3
+
+#: Interconnect scores within this of each other are the same score even
+#: when they straddle a 3-decimal rounding boundary.  Canonical home of
+#: the constant; ``repro.scheduler.fleet`` re-exports it.
+SCORE_TOLERANCE = 5e-4
+
+
+def scores_match(score: float, target: float) -> bool:
+    """Whether two interconnect scores identify the same block class.
+
+    Two conditions, because each covers the other's blind spot: the
+    absolute tolerance catches scores a hair's width apart that round to
+    different 3-decimal buckets (the silent-rejection bug), while the
+    rounded comparison keeps accepting scores in the same bucket that sit
+    up to a full rounding step apart — which the enumeration, deduping on
+    ``round(score, 3)``, treats as identical.
+
+    This is the single definition both the naive ``find_block`` loop and
+    the table's bucket filter use — they cannot drift apart.
+    """
+    return (
+        abs(score - target) <= SCORE_TOLERANCE
+        or round(score, _BUCKET_DECIMALS) == round(target, _BUCKET_DECIMALS)
+    )
+
+
+class _SizeTable:
+    """All blocks of one size on one machine shape, pre-scored."""
+
+    __slots__ = ("entries", "best_order", "buckets", "near_cache", "match_cache")
+
+    def __init__(
+        self, nodes: Tuple[int, ...], size: int, scorer
+    ) -> None:
+        #: rank -> (block as frozenset, block as sorted tuple, score).
+        #: Rank is the position in ``itertools.combinations`` order over
+        #: the machine's full node list — restricting that enumeration to
+        #: the subsets of any free-node set preserves relative order, so
+        #: rank ties break exactly like the naive per-host loop.
+        self.entries: List[Tuple[FrozenSet[int], Tuple[int, ...], float]] = []
+        for combo in itertools.combinations(nodes, size):
+            block = frozenset(combo)
+            self.entries.append((block, combo, scorer(block)))
+        #: Ranks sorted best score first, enumeration order within a score
+        #: (the naive loop's strict ``>`` keeps the first max it sees).
+        self.best_order: Tuple[int, ...] = tuple(
+            sorted(
+                range(len(self.entries)),
+                key=lambda rank: (-self.entries[rank][2], rank),
+            )
+        )
+        #: Inverted map: rounded score -> ranks (ascending).
+        self.buckets: Dict[float, List[int]] = {}
+        for rank, (_, _, score) in enumerate(self.entries):
+            self.buckets.setdefault(
+                round(score, _BUCKET_DECIMALS), []
+            ).append(rank)
+        #: rounded target -> merged rank list of its 3-bucket
+        #: neighbourhood (distinct targets are few; the merge is paid
+        #: once, not per lookup).
+        self.near_cache: Dict[float, Tuple[int, ...]] = {}
+        #: exact target -> (block set, block tuple) of every matching
+        #: block, ascending rank.  The tolerance filter depends on the
+        #: exact target, not its rounding, so this is keyed separately.
+        self.match_cache: Dict[
+            float, Tuple[Tuple[FrozenSet[int], Tuple[int, ...]], ...]
+        ] = {}
+
+    def ranks_near(self, center: float) -> Tuple[int, ...]:
+        """Ascending ranks of all blocks whose rounded score is within
+        one rounding step of ``center`` — the superset any target with
+        this rounding can match (the exact tolerance rule still runs per
+        candidate)."""
+        cached = self.near_cache.get(center)
+        if cached is None:
+            step = 10.0**-_BUCKET_DECIMALS
+            merged: List[int] = []
+            for key in (
+                center,
+                round(center - step, _BUCKET_DECIMALS),
+                round(center + step, _BUCKET_DECIMALS),
+            ):
+                merged.extend(self.buckets.get(key, ()))
+            cached = tuple(sorted(set(merged)))
+            self.near_cache[center] = cached
+        return cached
+
+    def matching_blocks(
+        self, target: float
+    ) -> Tuple[Tuple[FrozenSet[int], Tuple[int, ...]], ...]:
+        """Every block matching ``target`` per the tolerance rules,
+        ascending rank — filtered once per distinct target, so the
+        per-host question reduces to subset tests."""
+        cached = self.match_cache.get(target)
+        if cached is None:
+            cached = tuple(
+                (block, combo)
+                for block, combo, score in (
+                    self.entries[rank]
+                    for rank in self.ranks_near(
+                        round(target, _BUCKET_DECIMALS)
+                    )
+                )
+                if scores_match(score, target)
+            )
+            self.match_cache[target] = cached
+        return cached
+
+
+class BlockScoreTable:
+    """Every node subset of one machine shape, scored exactly once.
+
+    Parameters
+    ----------
+    machine:
+        The shape whose node subsets are tabulated.
+    scorer:
+        Block scorer; must be a pure function of the node set (the
+        interconnect bandwidth scorer and the constant-zero scorer both
+        are).
+    """
+
+    def __init__(self, machine: MachineTopology, scorer) -> None:
+        if machine.n_nodes > MAX_TABLE_NODES:
+            raise ValueError(
+                f"{machine.name} has {machine.n_nodes} nodes; block-score "
+                f"tables are capped at {MAX_TABLE_NODES} (2^n subsets)"
+            )
+        self.machine = machine
+        nodes = tuple(machine.nodes)
+        self._sizes: Dict[int, _SizeTable] = {
+            size: _SizeTable(nodes, size, scorer)
+            for size in range(1, machine.n_nodes + 1)
+        }
+        self._scores: Dict[FrozenSet[int], float] = {
+            block: score
+            for table in self._sizes.values()
+            for block, _, score in table.entries
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._scores)
+
+    def score(self, nodes: Iterable[int]) -> float:
+        """The precomputed score of one block."""
+        return self._scores[frozenset(nodes)]
+
+    def find(
+        self,
+        free: Set[int],
+        size: int,
+        *,
+        target_score: float | None = None,
+        exclude: Iterable[int] = (),
+    ) -> Tuple[int, ...] | None:
+        """Drop-in table-backed equivalent of the naive ``find_block`` loop.
+
+        With ``target_score``: the first block (in combinations order) of
+        ``size`` free nodes whose score matches per the tolerance rules.
+        Without: the best-scoring free block, first-in-order on ties.
+        """
+        if size < 1:
+            raise ValueError("block size must be >= 1")
+        table = self._sizes.get(size)
+        if table is None:
+            return None
+        avail = free.difference(exclude) if exclude else free
+        if size > len(avail):
+            return None
+        entries = table.entries
+        if target_score is None:
+            for rank in table.best_order:
+                block, combo, _ = entries[rank]
+                if block <= avail:
+                    return combo
+            return None
+        # Matching blocks live in the target's rounded bucket or, when the
+        # absolute tolerance straddles a rounding boundary, a neighbouring
+        # one; the tolerance filter is memoized per distinct target, so a
+        # lookup is subset tests over the (usually few) matching blocks,
+        # lowest-ranked (first-enumerated) free match first.
+        for block, combo in table.matching_blocks(target_score):
+            if block <= avail:
+                return combo
+        return None
+
+
+class BlockScoreCache:
+    """Fingerprint-keyed memo cache of block-score tables.
+
+    Keys are ``(machine fingerprint, scorer kind)``; all hosts with the
+    same shape share one table per kind.  Kinds:
+
+    * ``"interconnect"`` — ``machine.interconnect.aggregate_bandwidth``,
+      the scorer of the heuristic fleet policies, the rebalancer, and (via
+      the bandwidth concern, which memoizes the same values) the
+      goal-aware policy on asymmetric machines;
+    * ``"zero"`` — the constant-0 scorer the goal-aware policy uses on
+      machines without an interconnect concern.
+    """
+
+    _KINDS = ("interconnect", "zero")
+
+    def __init__(self) -> None:
+        self._tables: Dict[Tuple, BlockScoreTable] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(
+        self, machine: MachineTopology, kind: str = "interconnect"
+    ) -> BlockScoreTable | None:
+        """The shared table for a shape, or None for untabulable machines."""
+        if kind not in self._KINDS:
+            raise ValueError(
+                f"unknown scorer kind {kind!r}; choose from {self._KINDS}"
+            )
+        if machine.n_nodes > MAX_TABLE_NODES:
+            return None
+        key = (machine.fingerprint(), kind)
+        table = self._tables.get(key)
+        if table is not None:
+            self._hits += 1
+            return table
+        self._misses += 1
+        if kind == "zero":
+            scorer = lambda block: 0.0  # noqa: E731
+        else:
+            interconnect = machine.interconnect
+            scorer = lambda block: interconnect.aggregate_bandwidth(block)  # noqa: E731
+        table = BlockScoreTable(machine, scorer)
+        self._tables[key] = table
+        return table
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(self._hits, self._misses, len(self._tables))
+
+    def clear(self) -> None:
+        self._tables.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+#: Process-wide default cache; the fleet policies and the lifecycle
+#: rebalancer share tables through it.
+DEFAULT_BLOCK_SCORE_CACHE = BlockScoreCache()
+
+
+def block_score_table(
+    machine: MachineTopology, kind: str = "interconnect"
+) -> BlockScoreTable | None:
+    """The process-wide shared table for a machine shape (None when the
+    machine is too large to tabulate)."""
+    return DEFAULT_BLOCK_SCORE_CACHE.get(machine, kind)

@@ -105,3 +105,14 @@ def cached_enumerate_important_placements(
     """Drop-in memoized variant of
     :func:`repro.core.enumeration.enumerate_important_placements`."""
     return DEFAULT_ENUMERATION_CACHE.get(machine, vcpus)
+
+
+def cached_block_score_table(machine: MachineTopology, kind: str = "interconnect"):
+    """The process-wide shared per-shape block-score table (see
+    :mod:`repro.core.blockscores`; same fingerprint-keyed memoization
+    discipline as the enumeration cache).  Returns None for machines too
+    large to tabulate."""
+    # Imported lazily: blockscores borrows CacheInfo from this module.
+    from repro.core.blockscores import DEFAULT_BLOCK_SCORE_CACHE
+
+    return DEFAULT_BLOCK_SCORE_CACHE.get(machine, kind)

@@ -226,6 +226,27 @@ class PerformanceSimulator:
             )
         return value
 
+    def measured_ipc_noise(
+        self,
+        profile: WorkloadProfile,
+        placement: Placement,
+        *,
+        duration_s: float = 10.0,
+        repetition: int = 0,
+    ) -> float:
+        """The multiplicative noise term of :meth:`measured_ipc` alone.
+
+        ``measured_ipc(noise=True)`` equals ``measured_ipc(noise=False) *
+        measured_ipc_noise(...)`` bit-for-bit (same factor, multiplied in
+        the same order), which lets callers memoize the deterministic part
+        and re-draw only the noise per repetition.
+        """
+        if profile.phase_noise <= 0:
+            return 1.0
+        return self._noise_multiplier(
+            profile, placement, duration_s, repetition, extra=1_000_003
+        )
+
     def performance_vector(
         self,
         profile: WorkloadProfile,

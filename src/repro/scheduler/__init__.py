@@ -33,6 +33,7 @@ from repro.scheduler.fleet import (
     minimal_node_count,
     minimal_shape,
 )
+from repro.scheduler.index import FleetIndex
 from repro.scheduler.lifecycle import (
     ChurnStats,
     FragmentationSample,
@@ -67,6 +68,7 @@ __all__ = [
     "Fleet",
     "FleetHost",
     "FleetDecision",
+    "FleetIndex",
     "FleetPolicy",
     "FirstFitFleetPolicy",
     "FragmentationSample",

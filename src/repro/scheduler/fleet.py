@@ -18,31 +18,17 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
+from repro.core.blockscores import (  # noqa: F401  (re-exported API)
+    SCORE_TOLERANCE,
+    BlockScoreTable,
+    scores_match,
+)
 from repro.core.placements import Placement
+from repro.scheduler.index import FleetIndex
 from repro.topology.machine import MachineTopology
 
 #: Scores a candidate node block (higher = better interconnect bandwidth).
 BlockScorer = Callable[[FrozenSet[int]], float]
-
-#: Interconnect scores within this of each other are the same score even
-#: when they straddle a 3-decimal rounding boundary (the granularity the
-#: enumeration rounds scores to).
-SCORE_TOLERANCE = 5e-4
-
-
-def scores_match(score: float, target: float) -> bool:
-    """Whether two interconnect scores identify the same block class.
-
-    Two conditions, because each covers the other's blind spot: the
-    absolute tolerance catches scores a hair's width apart that round to
-    different 3-decimal buckets (the silent-rejection bug), while the
-    rounded comparison keeps accepting scores in the same bucket that sit
-    up to a full rounding step apart — which the enumeration, deduping on
-    ``round(score, 3)``, treats as identical.
-    """
-    return abs(score - target) <= SCORE_TOLERANCE or round(score, 3) == round(
-        target, 3
-    )
 
 
 class UnknownNodeError(ValueError):
@@ -108,6 +94,11 @@ class FleetHost:
         :meth:`allocate` / :meth:`release`.  :class:`Fleet` passes its own
         index so fleet-level release is an O(1) lookup; standalone hosts
         leave it ``None``.
+    fleet_index:
+        Optional :class:`~repro.scheduler.index.FleetIndex` notified on
+        every allocate/release, keeping the fleet's bucketed host index
+        and aggregate counters O(1)-fresh.  :class:`Fleet` wires its own;
+        standalone hosts leave it ``None``.
     """
 
     def __init__(
@@ -116,12 +107,15 @@ class FleetHost:
         machine: MachineTopology,
         *,
         location_index: Dict[int, int] | None = None,
+        fleet_index: FleetIndex | None = None,
     ) -> None:
         self.host_id = host_id
         self.machine = machine
         self._free_nodes: set = set(machine.nodes)
         self._placements: Dict[int, Placement] = {}
+        self._used_threads = 0
         self._location_index = location_index
+        self._fleet_index = fleet_index
 
     # ------------------------------------------------------------------
     # Capacity
@@ -142,7 +136,9 @@ class FleetHost:
 
     @property
     def used_threads(self) -> int:
-        return sum(p.vcpus for p in self._placements.values())
+        """Threads claimed by vCPUs — tracked incrementally, not summed
+        per query (reports and the spread policy read it per host)."""
+        return self._used_threads
 
     @property
     def thread_utilization(self) -> float:
@@ -176,6 +172,7 @@ class FleetHost:
         *,
         target_score: float | None = None,
         exclude: Iterable[int] = (),
+        table: BlockScoreTable | None = None,
     ) -> Tuple[int, ...] | None:
         """A free node block of ``size`` nodes.
 
@@ -192,9 +189,21 @@ class FleetHost:
         block and rejecting the request despite capacity.)  Without one,
         the best-scoring free block wins (the Smart-Aggressive rule:
         highest interconnect bandwidth).
+
+        With a ``table`` (a shared per-shape
+        :class:`~repro.core.blockscores.BlockScoreTable` built from the
+        same scorer), both answers come from precomputed lookups instead
+        of re-scoring combinations — bit-for-bit the same block.
         """
         if size < 1:
             raise ValueError("block size must be >= 1")
+        if table is not None:
+            return table.find(
+                self._free_nodes,
+                size,
+                target_score=target_score,
+                exclude=exclude,
+            )
         free = sorted(self._free_nodes - set(exclude))
         if size > len(free):
             return None
@@ -248,8 +257,11 @@ class FleetHost:
             )
         self._free_nodes -= nodes
         self._placements[request_id] = placement
+        self._used_threads += placement.vcpus
         if self._location_index is not None:
             self._location_index[request_id] = self.host_id
+        if self._fleet_index is not None:
+            self._fleet_index.on_allocate(self, placement)
 
     def release(self, request_id: int) -> Placement:
         """Return a departed container's nodes to the free pool."""
@@ -257,8 +269,11 @@ class FleetHost:
         if placement is None:
             raise KeyError(f"request {request_id} is not on host {self.host_id}")
         self._free_nodes |= set(placement.nodes)
+        self._used_threads -= placement.vcpus
         if self._location_index is not None:
             self._location_index.pop(request_id, None)
+        if self._fleet_index is not None:
+            self._fleet_index.on_release(self, placement)
         return placement
 
 
@@ -278,10 +293,18 @@ class Fleet:
         if not machines:
             raise ValueError("a fleet needs at least one host")
         self._locations: Dict[int, int] = {}
+        self._index = FleetIndex()
         self.hosts: List[FleetHost] = [
-            FleetHost(host_id, machine, location_index=self._locations)
+            FleetHost(
+                host_id,
+                machine,
+                location_index=self._locations,
+                fleet_index=self._index,
+            )
             for host_id, machine in enumerate(machines)
         ]
+        for host in self.hosts:
+            self._index.register(host)
 
     @classmethod
     def homogeneous(cls, machine: MachineTopology, n_hosts: int) -> "Fleet":
@@ -319,12 +342,14 @@ class Fleet:
         return iter(self.hosts)
 
     @property
+    def index(self) -> FleetIndex:
+        """The fleet's incremental host index (buckets + O(1) counters)."""
+        return self._index
+
+    @property
     def shapes(self) -> List[MachineTopology]:
         """The distinct machine shapes present, in first-seen order."""
-        seen: Dict[Tuple, MachineTopology] = {}
-        for host in self.hosts:
-            seen.setdefault(host.machine.fingerprint(), host.machine)
-        return list(seen.values())
+        return self._index.shapes()
 
     def locate(self, request_id: int) -> int | None:
         """Host id currently running a request, or None if not placed."""
@@ -352,26 +377,29 @@ class Fleet:
 
     @property
     def total_threads(self) -> int:
-        return sum(host.machine.total_threads for host in self.hosts)
+        return self._index.total_threads
 
     @property
     def used_threads(self) -> int:
-        return sum(host.used_threads for host in self.hosts)
+        return self._index.used_threads
 
     @property
     def thread_utilization(self) -> float:
-        return self.used_threads / self.total_threads
+        if self._index.total_threads == 0:
+            return 0.0
+        return self._index.used_threads / self._index.total_threads
 
     @property
     def node_utilization(self) -> float:
-        total = sum(host.machine.n_nodes for host in self.hosts)
-        free = sum(host.n_free_nodes for host in self.hosts)
-        return 1.0 - free / total
+        if self._index.total_nodes == 0:
+            return 0.0
+        return 1.0 - self._index.free_nodes_total / self._index.total_nodes
 
     @property
     def free_nodes_total(self) -> int:
-        """Free nodes summed over all hosts (raw spare capacity)."""
-        return sum(host.n_free_nodes for host in self.hosts)
+        """Free nodes summed over all hosts (raw spare capacity) — an
+        index counter, not a fleet scan."""
+        return self._index.free_nodes_total
 
     @property
     def largest_free_block(self) -> int:
@@ -379,9 +407,14 @@ class Fleet:
 
         The gap between this and :attr:`free_nodes_total` is the fleet's
         fragmentation: plenty of spare nodes overall, none of them
-        together on one host.
+        together on one host.  An empty host list reports 0 (``max()``
+        over no hosts used to raise ``ValueError``); all counters come
+        from the incremental :class:`~repro.scheduler.index.FleetIndex`,
+        so this is O(1) however large the fleet.
         """
-        return max(host.largest_free_block for host in self.hosts)
+        if not self.hosts:
+            return 0
+        return self._index.largest_free_block
 
     def utilization_summary(self) -> str:
         per_host = [host.thread_utilization for host in self.hosts]

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core.blockscores import block_score_table
 from repro.core.placements import Placement
 from repro.migration.memory import ContainerMemory
 from repro.migration.planner import MigrationPlanner
@@ -237,7 +238,13 @@ class LifecycleScheduler:
         stats = ChurnStats()
         graded: List[GradedDecision] = []
         self._graded_by_id = {}
-        fit_failures = 0
+        # Every value the per-event fragmentation sample needs is an O(1)
+        # counter on the fleet index (kept fresh by host allocate/release
+        # bookkeeping, migrations included) — the sample no longer pays a
+        # full-fleet sum per event.  Fit failures are counted on the index
+        # too; the snapshot keeps a re-used fleet's timeline starting at 0.
+        index = self.fleet.index
+        fit_failures_before = index.fit_failures
         for event in events_from_requests(requests).drain():
             if event.kind is EventKind.ARRIVAL:
                 entry = self._handle_arrival(event, stats)
@@ -245,16 +252,16 @@ class LifecycleScheduler:
                 if not entry.decision.placed and (
                     entry.decision.reject_reason == "capacity"
                 ):
-                    fit_failures += 1
+                    index.record_fit_failure()
             else:
                 self._handle_departure(event, stats)
             stats.fragmentation_timeline.append(
                 FragmentationSample(
                     time=event.time,
-                    free_nodes_total=self.fleet.free_nodes_total,
-                    largest_free_block=self.fleet.largest_free_block,
+                    free_nodes_total=index.free_nodes_total,
+                    largest_free_block=index.largest_free_block,
                     active_containers=len(self._active),
-                    fit_failures=fit_failures,
+                    fit_failures=index.fit_failures - fit_failures_before,
                 )
             )
         elapsed = time.perf_counter() - start
@@ -329,16 +336,18 @@ class LifecycleScheduler:
         fits.  Planning is all-or-nothing: migrations only execute if
         together they free enough nodes within ``reject_penalty_seconds``.
         """
+        # Distinct shapes come from the fleet index (O(#shapes), not a
+        # host scan); a shape's compatible hosts from its id buckets.
+        index = self.fleet.index
         shapes: Dict[Tuple, int | None] = {}
         compatible: List[FleetHost] = []
-        for host in self.fleet.hosts:
-            key = host.machine.fingerprint()
-            if key not in shapes:
-                shapes[key] = self.policy.min_block_nodes(
-                    host.machine, request.vcpus
-                )
+        for key, machine in index.machines():
+            shapes[key] = self.policy.min_block_nodes(machine, request.vcpus)
             if shapes[key] is not None:
-                compatible.append(host)
+                compatible.extend(
+                    self.fleet.hosts[host_id]
+                    for host_id in index.host_ids(key)
+                )
         if not compatible:
             return []
 
@@ -407,18 +416,25 @@ class LifecycleScheduler:
         victim's current interconnect score is preferred (its graded
         performance transfers); any block of the right size is the
         fallback.
+
+        Candidates come from the fleet index's same-shape buckets —
+        fullest-first is ascending free-count bucket order, and hosts
+        whose free count cannot cover the victim's block are never
+        visited.  Block search goes through the shared per-shape score
+        table.
         """
-        candidates = sorted(
-            (
-                host
-                for host in self.fleet.hosts
-                if host.host_id != source.host_id
-                and host.machine.fingerprint() == source.machine.fingerprint()
-            ),
-            key=lambda h: (h.n_free_nodes, h.host_id),
-        )
+        index = self.fleet.index
+        buckets = index.buckets(source.machine.fingerprint())
+        candidates = [
+            self.fleet.hosts[host_id]
+            for size in sorted(buckets)
+            if size >= placement.n_nodes
+            for host_id in sorted(buckets[size])
+            if host_id != source.host_id
+        ]
         machine = source.machine
         scorer = lambda nodes: machine.interconnect.aggregate_bandwidth(nodes)  # noqa: E731
+        table = block_score_table(machine, "interconnect")
         target_score = scorer(frozenset(placement.nodes))
         for exact in (target_score, None):
             for host in candidates:
@@ -427,6 +443,7 @@ class LifecycleScheduler:
                     scorer,
                     target_score=exact,
                     exclude=claimed.get(host.host_id, ()),
+                    table=table,
                 )
                 if block is not None:
                     return host, block

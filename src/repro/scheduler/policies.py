@@ -23,17 +23,33 @@ a batch must see earlier allocations) and return one
 from __future__ import annotations
 
 import abc
+import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.blockscores import BlockScoreTable, block_score_table
 from repro.core.enumeration import ImportantPlacementSet
 from repro.core.placements import Placement
 from repro.scheduler.fleet import Fleet, FleetHost, minimal_shape
 from repro.scheduler.registry import ModelRegistry
 from repro.scheduler.requests import PlacementRequest
 from repro.topology.machine import MachineTopology
+
+
+def _in_id_order(host_ids: List[int]) -> Iterator[int]:
+    """Yield host ids ascending without sorting them all up front.
+
+    Candidate sets from the fleet index are unordered, but the linear-scan
+    path visits hosts in id order, so the indexed path must too.  Almost
+    every search accepts one of its first candidates, so a heap (O(n)
+    heapify, O(log n) per id actually consumed) beats a full sort.
+    Consumes the list it is given.
+    """
+    heapq.heapify(host_ids)
+    while host_ids:
+        yield heapq.heappop(host_ids)
 
 
 @dataclass
@@ -100,12 +116,42 @@ class FleetPolicy(abc.ABC):
 
 
 class _HeuristicFleetPolicy(FleetPolicy):
-    """Shared machinery of the model-free policies."""
+    """Shared machinery of the model-free policies.
+
+    Parameters
+    ----------
+    indexed:
+        When True (the default), host selection queries the fleet's
+        incremental :class:`~repro.scheduler.index.FleetIndex` — only
+        hosts whose bucketed largest free block can fit the request are
+        visited, and block search uses the shared per-shape
+        :class:`~repro.core.blockscores.BlockScoreTable`.  ``False`` takes
+        the original linear scan over ``fleet.hosts``; both paths make
+        bit-for-bit identical decisions (asserted in
+        ``tests/scheduler/test_index.py``).
+    """
+
+    def __init__(self, *, indexed: bool = True) -> None:
+        self.indexed = indexed
+        #: (fingerprint, vcpus) -> (n_nodes, l2_share) | None, memoized —
+        #: the minimal balanced shape is a pure function of the key.
+        self._shape_cache: Dict[Tuple, Tuple[int, int] | None] = {}
 
     def decide_batch(self, requests, fleet):
         return [self._decide_one(request, fleet) for request in requests]
 
     def _decide_one(
+        self, request: PlacementRequest, fleet: Fleet
+    ) -> FleetDecision:
+        if self.indexed:
+            return self._decide_one_indexed(request, fleet)
+        return self._decide_one_linear(request, fleet)
+
+    # ------------------------------------------------------------------
+    # Linear scan (the reference path the index must reproduce)
+    # ------------------------------------------------------------------
+
+    def _decide_one_linear(
         self, request: PlacementRequest, fleet: Fleet
     ) -> FleetDecision:
         feasible_anywhere = False
@@ -132,8 +178,67 @@ class _HeuristicFleetPolicy(FleetPolicy):
         reason = "capacity" if feasible_anywhere else "infeasible"
         return FleetDecision(request, reject_reason=reason)
 
+    # ------------------------------------------------------------------
+    # Indexed path
+    # ------------------------------------------------------------------
+
+    def _shape_plan(
+        self, machine: MachineTopology, vcpus: int
+    ) -> Tuple[int, int] | None:
+        key = (machine.fingerprint(), vcpus)
+        if key not in self._shape_cache:
+            try:
+                self._shape_cache[key] = minimal_shape(machine, vcpus)
+            except ValueError:
+                self._shape_cache[key] = None
+        return self._shape_cache[key]
+
+    def _decide_one_indexed(
+        self, request: PlacementRequest, fleet: Fleet
+    ) -> FleetDecision:
+        index = fleet.index
+        #: fingerprint -> (machine, n_nodes, l2_share) | None
+        plans: Dict[Tuple, Tuple[MachineTopology, int, int] | None] = {}
+        feasible_anywhere = False
+        for fingerprint, machine in index.machines():
+            shape = self._shape_plan(machine, request.vcpus)
+            if shape is None:
+                plans[fingerprint] = None
+                continue
+            plans[fingerprint] = (machine, shape[0], shape[1])
+            feasible_anywhere = True
+        host = (
+            self._select_host_indexed(fleet, plans)
+            if feasible_anywhere
+            else None
+        )
+        if host is None:
+            reason = "capacity" if feasible_anywhere else "infeasible"
+            return FleetDecision(request, reject_reason=reason)
+        machine, n_nodes, l2_share = plans[host.machine.fingerprint()]
+        block = host.find_block(
+            n_nodes,
+            lambda nodes: machine.interconnect.aggregate_bandwidth(nodes),
+            table=block_score_table(machine, "interconnect"),
+        )
+        placement = Placement(machine, block, request.vcpus, l2_share=l2_share)
+        host.allocate(request.request_id, placement)
+        return FleetDecision(
+            request, host_id=host.host_id, placement=placement
+        )
+
     @abc.abstractmethod
-    def _scan_order(self, fleet: Fleet) -> Sequence[FleetHost]: ...
+    def _scan_order(self, fleet: Fleet) -> Sequence[FleetHost]:
+        """Host visit order of the linear path."""
+
+    @abc.abstractmethod
+    def _select_host_indexed(
+        self,
+        fleet: Fleet,
+        plans: Dict[Tuple, Tuple[MachineTopology, int, int] | None],
+    ) -> FleetHost | None:
+        """The host the linear path would have picked, found via index
+        buckets (hosts that cannot fit the plan are never visited)."""
 
 
 class FirstFitFleetPolicy(_HeuristicFleetPolicy):
@@ -144,6 +249,18 @@ class FirstFitFleetPolicy(_HeuristicFleetPolicy):
     def _scan_order(self, fleet):
         return fleet.hosts
 
+    def _select_host_indexed(self, fleet, plans):
+        best: int | None = None
+        for fingerprint, plan in plans.items():
+            if plan is None:
+                continue
+            ids = fleet.index.candidates(fingerprint, plan[1])
+            if ids:
+                lowest = min(ids)
+                if best is None or lowest < best:
+                    best = lowest
+        return None if best is None else fleet.hosts[best]
+
 
 class SpreadFleetPolicy(_HeuristicFleetPolicy):
     """Load balancing: emptiest host first."""
@@ -152,6 +269,32 @@ class SpreadFleetPolicy(_HeuristicFleetPolicy):
 
     def _scan_order(self, fleet):
         return fleet.hosts_by_load()
+
+    def _select_host_indexed(self, fleet, plans):
+        # The linear path's order is (node_utilization, thread_utilization,
+        # host_id).  Every host in one (shape, free-count) bucket shares
+        # the same node utilization — computed with the same division the
+        # per-host property uses, so equal floats stay equal — which lets
+        # whole buckets be ranked first and only the winning utilization
+        # class be scanned per host.
+        index = fleet.index
+        classes: Dict[float, List[int]] = {}
+        for fingerprint, plan in plans.items():
+            if plan is None:
+                continue
+            machine, needed, _ = plan
+            for size, ids in index.buckets(fingerprint).items():
+                if size >= needed and ids:
+                    classes.setdefault(
+                        1.0 - size / machine.n_nodes, []
+                    ).extend(ids)
+        if not classes:
+            return None
+        winners = classes[min(classes)]
+        return min(
+            (fleet.hosts[host_id] for host_id in winners),
+            key=lambda h: (h.thread_utilization, h.host_id),
+        )
 
 
 class GoalAwareFleetPolicy(FleetPolicy):
@@ -178,6 +321,11 @@ class GoalAwareFleetPolicy(FleetPolicy):
         performance for much denser packing.
     probe_duration_s:
         Simulated probe length ("for a couple of seconds", Section 1).
+    indexed:
+        When True (default), host selection queries the fleet index and
+        block search uses shared per-shape score tables; False takes the
+        original triple-loop linear scan.  Decisions are bit-for-bit
+        identical either way.
     """
 
     name = "ml"
@@ -189,6 +337,7 @@ class GoalAwareFleetPolicy(FleetPolicy):
         safety_margin: float = 0.05,
         best_effort_slack: float = 0.9,
         probe_duration_s: float = 3.0,
+        indexed: bool = True,
     ) -> None:
         if safety_margin < 0:
             raise ValueError("safety_margin must be >= 0")
@@ -198,9 +347,15 @@ class GoalAwareFleetPolicy(FleetPolicy):
         self.safety_margin = safety_margin
         self.best_effort_slack = best_effort_slack
         self.probe_duration_s = probe_duration_s
+        self.indexed = indexed
         #: Batched-prediction accounting for the fleet report.
         self.predict_calls = 0
         self.predicted_rows = 0
+        #: id(placements) -> (placements, scorer, per-index target scores)
+        #: — the indexed hot path resolves these once per placement set
+        #: instead of once per candidate host (the set is kept referenced,
+        #: so its id cannot be recycled while cached).
+        self._target_cache: Dict[int, Tuple] = {}
 
     # ------------------------------------------------------------------
 
@@ -217,18 +372,22 @@ class GoalAwareFleetPolicy(FleetPolicy):
             model = self.registry.model(machine, vcpus)
         except ValueError:
             return None
-        simulator = self.registry.simulator(machine)
         i, j = model.input_pair
         obs_i = np.empty(len(group))
         obs_j = np.empty(len(group))
         for row, request in enumerate(group):
-            obs_i[row] = simulator.measured_ipc(
+            # Through the registry's probe memo: the deterministic part of
+            # each observation is computed once per (profile, placement),
+            # only the per-repetition noise draw is fresh.
+            obs_i[row] = self.registry.probe_ipc(
+                machine,
                 request.profile,
                 placements[i],
                 duration_s=self.probe_duration_s,
                 repetition=request.request_id,
             )
-            obs_j[row] = simulator.measured_ipc(
+            obs_j[row] = self.registry.probe_ipc(
+                machine,
                 request.profile,
                 placements[j],
                 duration_s=self.probe_duration_s,
@@ -257,6 +416,25 @@ class GoalAwareFleetPolicy(FleetPolicy):
         if bandwidth is None:
             return lambda nodes: 0.0
         return lambda nodes: bandwidth.score_nodes(nodes)
+
+    def _scorer_and_targets(self, placements: ImportantPlacementSet):
+        """The placement set's scorer plus each candidate's target score,
+        computed once per set (they are pure functions of it)."""
+        entry = self._target_cache.get(id(placements))
+        if entry is None or entry[0] is not placements:
+            if len(self._target_cache) >= 32:
+                # A memoized registry serves a handful of long-lived sets
+                # and never trips this; an unmemoized one mints a fresh
+                # set per decide_batch, and without the bound the cache
+                # would pin every dead set forever.
+                self._target_cache.clear()
+            scorer = self._scorer(placements)
+            targets = tuple(
+                scorer(frozenset(candidate.nodes)) for candidate in placements
+            )
+            entry = (placements, scorer, targets)
+            self._target_cache[id(placements)] = entry
+        return entry[1], entry[2]
 
     def _preference_order(
         self,
@@ -306,6 +484,85 @@ class GoalAwareFleetPolicy(FleetPolicy):
         return decisions
 
     def _place_one(
+        self,
+        request: PlacementRequest,
+        fleet: Fleet,
+        predictions: Dict[Tuple, Tuple],
+    ) -> FleetDecision:
+        if self.indexed:
+            return self._place_one_indexed(request, fleet, predictions)
+        return self._place_one_linear(request, fleet, predictions)
+
+    def _place_one_indexed(
+        self,
+        request: PlacementRequest,
+        fleet: Fleet,
+        predictions: Dict[Tuple, Tuple],
+    ) -> FleetDecision:
+        """The linear triple loop ``(exact, rank, host)`` with the host
+        dimension answered by index buckets: per candidate rank only the
+        hosts whose bucketed largest free block fits that placement are
+        visited, in the same id order the linear scan uses."""
+        index = fleet.index
+        orders: Dict[Tuple, List[int]] = {}
+        entries: Dict[Tuple, Tuple] = {}
+        tables: Dict[Tuple, BlockScoreTable | None] = {}
+        scorers: Dict[Tuple, Tuple] = {}
+        for fingerprint, machine in index.machines():
+            entry = predictions.get((fingerprint, request.vcpus))
+            if entry is None:
+                continue
+            placements, by_request = entry
+            entries[fingerprint] = entry
+            orders[fingerprint] = self._preference_order(
+                placements,
+                by_request[request.request_id],
+                request.goal_fraction,
+            )
+            kind = (
+                "interconnect"
+                if placements.concerns.bandwidth_concern is not None
+                else "zero"
+            )
+            tables[fingerprint] = block_score_table(machine, kind)
+            scorers[fingerprint] = self._scorer_and_targets(placements)
+        if not orders:
+            return FleetDecision(request, reject_reason="infeasible")
+        if index.free_nodes_total == 0:
+            return FleetDecision(request, reject_reason="capacity")
+
+        max_rank = max(len(order) for order in orders.values())
+        for exact in (True, False):
+            for rank in range(max_rank):
+                candidates: List[int] = []
+                for fingerprint, order in orders.items():
+                    if rank >= len(order):
+                        continue
+                    placements, _ = entries[fingerprint]
+                    needed = placements[order[rank]].n_nodes
+                    candidates.extend(index.candidates(fingerprint, needed))
+                for host_id in _in_id_order(candidates):
+                    host = fleet.hosts[host_id]
+                    fingerprint = host.machine.fingerprint()
+                    placements, by_request = entries[fingerprint]
+                    scorer, targets = scorers[fingerprint]
+                    candidate_index = orders[fingerprint][rank]
+                    decision = self._try_candidate(
+                        request,
+                        host,
+                        placements,
+                        by_request[request.request_id],
+                        candidate_index,
+                        exact=exact,
+                        table=tables[fingerprint],
+                        scorer=scorer,
+                        target_score=targets[candidate_index],
+                    )
+                    if decision is not None:
+                        return decision
+        return FleetDecision(request, reject_reason="capacity")
+
+    def _place_one_linear(
         self,
         request: PlacementRequest,
         fleet: Fleet,
@@ -371,17 +628,24 @@ class GoalAwareFleetPolicy(FleetPolicy):
         index: int,
         *,
         exact: bool,
+        table: BlockScoreTable | None = None,
+        scorer=None,
+        target_score: float | None = None,
     ) -> FleetDecision | None:
-        scorer = self._scorer(placements)
+        if scorer is None:
+            scorer = self._scorer(placements)
         candidate = placements[index]
         if exact:
+            if target_score is None:
+                target_score = scorer(frozenset(candidate.nodes))
             block = host.find_block(
                 candidate.n_nodes,
                 scorer,
-                target_score=scorer(frozenset(candidate.nodes)),
+                target_score=target_score,
+                table=table,
             )
         else:
-            block = host.find_block(candidate.n_nodes, scorer)
+            block = host.find_block(candidate.n_nodes, scorer, table=table)
         if block is None:
             return None
         realized = Placement(

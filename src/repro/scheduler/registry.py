@@ -14,7 +14,13 @@ thousands of requests.  The registry memoizes all of it:
   fixed (first, last) pair rather than paying the minutes-long automatic
   search per shape;
 * **simulators** — one :class:`~repro.perfsim.simulator.PerformanceSimulator`
-  per shape, standing in for the fleet's measurement plane.
+  per shape, standing in for the fleet's measurement plane;
+* **noise-free IPC evaluations** — the grader's inputs.  The baseline
+  (denominator) IPC depends only on ``(shape, vcpus, workload profile)``
+  and the achieved (numerator) IPC only on ``(shape, profile, realized
+  placement)``, both deterministic, so repeated shapes/profiles never
+  re-simulate (:meth:`ModelRegistry.baseline_ipc` /
+  :meth:`ModelRegistry.solo_ipc`).
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from repro.core.enumeration import (
     ImportantPlacementSet,
     enumerate_important_placements,
 )
-from repro.core.memo import EnumerationCache
+from repro.core.memo import CacheInfo, EnumerationCache
 from repro.core.model import PlacementModel
 from repro.core.placements import Placement
 from repro.core.training import build_training_set
@@ -53,6 +59,10 @@ class ModelRegistry:
         training corpus.
     seed:
         Seeds the training corpus, the simulators, and the forests.
+    memoize_ipc:
+        When False, every :meth:`baseline_ipc` / :meth:`solo_ipc` call
+        re-runs the (deterministic) noise-free simulation — the
+        per-request grading cost the benchmark's baseline pays.
     """
 
     def __init__(
@@ -62,17 +72,25 @@ class ModelRegistry:
         n_estimators: int = 40,
         n_synthetic: int = 32,
         seed: int = 0,
+        memoize_ipc: bool = True,
     ) -> None:
         self.memoize_enumeration = memoize_enumeration
         self.n_estimators = n_estimators
         self.n_synthetic = n_synthetic
         self.seed = seed
+        self.memoize_ipc = memoize_ipc
         self.enumeration_cache = EnumerationCache()
         #: Enumeration pipeline runs that bypassed the cache (naive mode).
         self.uncached_enumerations = 0
         self._models: Dict[Tuple, PlacementModel] = {}
         self._simulators: Dict[Tuple, PerformanceSimulator] = {}
         self._corpus: List[WorkloadProfile] | None = None
+        #: (fingerprint, vcpus, profile) -> baseline (denominator) IPC.
+        self._baseline_ipc: Dict[Tuple, float] = {}
+        #: (fingerprint, profile, placement) -> noise-free solo IPC.
+        self._solo_ipc: Dict[Tuple, float] = {}
+        self._ipc_hits = 0
+        self._ipc_misses = 0
 
     # ------------------------------------------------------------------
 
@@ -165,6 +183,98 @@ class ModelRegistry:
         model.fit(training_set)
         self._models[key] = model
         return model
+
+    # ------------------------------------------------------------------
+    # Noise-free IPC memoization (the grader's hot path)
+    # ------------------------------------------------------------------
+
+    def solo_ipc(
+        self,
+        machine: MachineTopology,
+        profile: WorkloadProfile,
+        placement: Placement,
+    ) -> float:
+        """Noise-free measured IPC of a workload alone in a placement.
+
+        Deterministic in its inputs (profiles and placements are frozen
+        and hashable), so it is memoized unless the registry was built
+        with ``memoize_ipc=False``; a cache hit returns the exact float
+        the simulation produced, keeping grading bit-for-bit stable.
+        """
+        if not self.memoize_ipc:
+            self._ipc_misses += 1
+            return self.simulator(machine).measured_ipc(
+                profile, placement, noise=False
+            )
+        key = (machine.fingerprint(), profile, placement)
+        value = self._solo_ipc.get(key)
+        if value is None:
+            self._ipc_misses += 1
+            value = self.simulator(machine).measured_ipc(
+                profile, placement, noise=False
+            )
+            self._solo_ipc[key] = value
+        else:
+            self._ipc_hits += 1
+        return value
+
+    def probe_ipc(
+        self,
+        machine: MachineTopology,
+        profile: WorkloadProfile,
+        placement: Placement,
+        *,
+        duration_s: float,
+        repetition: int,
+    ) -> float:
+        """A noisy probe observation, with the deterministic part memoized.
+
+        The simulator's measured IPC factors as (noise-free IPC) x (noise
+        multiplier); only the multiplier depends on the repetition, so the
+        expensive deterministic part is served from :meth:`solo_ipc` and
+        the per-probe cost is one noise draw.  Bit-for-bit equal to
+        calling ``measured_ipc(noise=True)`` directly.
+        """
+        simulator = self.simulator(machine)
+        if not self.memoize_ipc:
+            self._ipc_misses += 1
+            return simulator.measured_ipc(
+                profile,
+                placement,
+                duration_s=duration_s,
+                repetition=repetition,
+            )
+        return self.solo_ipc(machine, profile, placement) * (
+            simulator.measured_ipc_noise(
+                profile,
+                placement,
+                duration_s=duration_s,
+                repetition=repetition,
+            )
+        )
+
+    def baseline_ipc(
+        self, machine: MachineTopology, vcpus: int, profile: WorkloadProfile
+    ) -> float:
+        """The grading denominator: the profile's noise-free IPC in the
+        shape's baseline placement, cached per ``(fingerprint, vcpus,
+        profile)`` so repeated shapes/profiles never re-simulate it."""
+        if not self.memoize_ipc:
+            return self.solo_ipc(
+                machine, profile, self.baseline_placement(machine, vcpus)
+            )
+        key = (machine.fingerprint(), int(vcpus), profile)
+        value = self._baseline_ipc.get(key)
+        if value is None:
+            value = self.solo_ipc(
+                machine, profile, self.baseline_placement(machine, vcpus)
+            )
+            self._baseline_ipc[key] = value
+        return value
+
+    def ipc_cache_info(self) -> CacheInfo:
+        """Hit/miss accounting of the noise-free IPC memo."""
+        return CacheInfo(self._ipc_hits, self._ipc_misses, len(self._solo_ipc))
 
     # ------------------------------------------------------------------
 

@@ -65,17 +65,20 @@ def grade_decision(
 
     Shared by the one-shot :class:`FleetScheduler` and the event-driven
     :class:`~repro.scheduler.lifecycle.LifecycleScheduler`, so both grade
-    bit-for-bit identically.
+    bit-for-bit identically.  Both IPC evaluations are noise-free and
+    deterministic, so they go through the registry's memo
+    (:meth:`~repro.scheduler.registry.ModelRegistry.solo_ipc` /
+    :meth:`~repro.scheduler.registry.ModelRegistry.baseline_ipc`) —
+    repeated (shape, profile, placement) keys cost a dict lookup, not two
+    simulator runs per placed container.
     """
     if not decision.placed:
         return GradedDecision(decision)
     request = decision.request
     host = fleet.hosts[decision.host_id]
-    simulator = registry.simulator(host.machine)
-    baseline = registry.baseline_placement(host.machine, request.vcpus)
-    achieved = simulator.measured_ipc(
-        request.profile, decision.placement, noise=False
-    ) / simulator.measured_ipc(request.profile, baseline, noise=False)
+    achieved = registry.solo_ipc(
+        host.machine, request.profile, decision.placement
+    ) / registry.baseline_ipc(host.machine, request.vcpus, request.profile)
     violated = (
         request.goal_fraction is not None
         and achieved < request.goal_fraction
@@ -101,6 +104,12 @@ class FleetReport:
     enumeration_runs: int = 0
     predict_calls: int = 0
     predicted_rows: int = 0
+    #: Noise-free IPC memo accounting (the grader's hot path).
+    ipc_cache_info: CacheInfo | None = None
+    #: Shared block-score table accounting (per-shape, process-wide).
+    blockscore_cache_info: CacheInfo | None = None
+    #: Whether the policy consulted the incremental fleet index.
+    indexed: bool = True
     #: Lifecycle statistics (departures, migrations, fragmentation
     #: timeline) — only set by the event-driven LifecycleScheduler.
     churn: "ChurnStats | None" = None
@@ -122,6 +131,8 @@ class FleetReport:
         """Assemble a report from end-of-run state — the single place the
         fleet/registry/policy counters are folded in, shared by the
         one-shot and lifecycle schedulers so their reports cannot drift."""
+        from repro.core.blockscores import DEFAULT_BLOCK_SCORE_CACHE
+
         per_host = [h.thread_utilization for h in fleet.hosts]
         return cls(
             policy=policy.name,
@@ -136,6 +147,9 @@ class FleetReport:
             enumeration_runs=registry.enumeration_runs(),
             predict_calls=getattr(policy, "predict_calls", 0),
             predicted_rows=getattr(policy, "predicted_rows", 0),
+            ipc_cache_info=registry.ipc_cache_info(),
+            blockscore_cache_info=DEFAULT_BLOCK_SCORE_CACHE.info(),
+            indexed=getattr(policy, "indexed", True),
             churn=churn,
         )
 
@@ -212,7 +226,27 @@ class FleetReport:
                 if self.cache_info is not None
                 else ""
             ),
+            f"  host selection: "
+            f"{'indexed (fleet buckets)' if self.indexed else 'linear scan'}"
+            + (
+                # The table cache is process-wide; only report it for runs
+                # whose policy actually consulted tables, and say what the
+                # number is (a linear-scan A/B run would otherwise print
+                # another run's accumulation as its own).
+                f", block-score tables: "
+                f"{self.blockscore_cache_info.currsize} shape(s) cached "
+                f"process-wide"
+                if self.indexed and self.blockscore_cache_info is not None
+                else ""
+            ),
         ]
+        if self.ipc_cache_info is not None and (
+            self.ipc_cache_info.hits or self.ipc_cache_info.misses
+        ):
+            lines.append(
+                f"  grading ipc memo: {self.ipc_cache_info.hits} hits, "
+                f"{self.ipc_cache_info.misses} simulator runs"
+            )
         if self.predict_calls:
             lines.append(
                 f"  batched prediction: {self.predicted_rows} vectors in "
