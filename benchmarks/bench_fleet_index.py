@@ -37,8 +37,10 @@ N_HOSTS = 40 if SMOKE else 1000
 # Enough requests to fill most of the fleet: the linear scan's cost grows
 # as early hosts fill (every request walks past them) while the indexed
 # scan's shrinks (full hosts drop out of the candidate buckets) — the
-# regime the index exists for.
-N_REQUESTS = 120 if SMOKE else 2500
+# regime the index exists for.  The smoke size keeps the timed kernel in
+# the tens of milliseconds: shorter runs are scheduler-noise-dominated
+# and make the CI benchmark-regression gate flaky.
+N_REQUESTS = 500 if SMOKE else 2500
 SEED = 13
 
 
@@ -53,15 +55,31 @@ def _fleet():
     )
 
 
-def _run(policy):
+def _run(policy_factory, repeats: int = 3):
+    """Best-of-``repeats`` timing: the kernel is milliseconds at smoke
+    size, so a single sample is scheduler-noise-dominated; the fastest
+    repeat is the standard microbenchmark noise killer.  Decisions are
+    asserted identical across repeats (fresh fleet each time)."""
     requests = generate_request_stream(
         N_REQUESTS, seed=SEED, vcpus_choices=(4, 8, 16)
     )
-    fleet = _fleet()
-    start = time.perf_counter()
-    decisions = policy.decide_batch(requests, fleet)
-    elapsed = time.perf_counter() - start
-    return fleet, decisions, N_REQUESTS / elapsed
+    best_rps = 0.0
+    fleet = decisions = reference = None
+    for _ in range(repeats):
+        fleet = _fleet()
+        policy = policy_factory()
+        start = time.perf_counter()
+        decisions = policy.decide_batch(requests, fleet)
+        elapsed = time.perf_counter() - start
+        best_rps = max(best_rps, N_REQUESTS / elapsed)
+        if reference is None:
+            reference = _fingerprints(decisions)
+        else:
+            assert _fingerprints(decisions) == reference, (
+                "decisions diverged across timing repeats — the policy is "
+                "not deterministic in (requests, fresh fleet)"
+            )
+    return fleet, decisions, best_rps
 
 
 def _fingerprints(decisions):
@@ -89,8 +107,12 @@ def test_indexed_scan_equivalent_and_fast(report):
         ("first-fit", FirstFitFleetPolicy),
         ("spread", SpreadFleetPolicy),
     ):
-        fleet_linear, linear, linear_rps = _run(factory(indexed=False))
-        fleet_indexed, indexed, indexed_rps = _run(factory(indexed=True))
+        fleet_linear, linear, linear_rps = _run(
+            lambda: factory(indexed=False)
+        )
+        fleet_indexed, indexed, indexed_rps = _run(
+            lambda: factory(indexed=True)
+        )
 
         # The hard gate: indexed and linear scans must be
         # decision-for-decision identical.

@@ -1,0 +1,171 @@
+"""Online model lifecycle benchmark: drift recovery on a phase-shift stream.
+
+The scenario the serving subsystem exists for: the arrival mix shifts
+mid-stream to a workload population the offline corpus never sampled.
+Both engines replay the *same* phase-shift churn stream with the same
+policy:
+
+* **frozen** — the model trained once offline keeps serving (its learner
+  observes, so rolling MAPE is recorded identically, but its drift
+  threshold is unreachable: it can never retrain);
+* **online** — rolling-MAPE drift triggers trace-fed warm-start
+  retraining; candidates shadow the incumbent and promote through the
+  paired holdout gate.
+
+Hard gates (asserted in every mode, smoke included):
+
+* the frozen model *degrades* across the shift (late rolling MAPE is well
+  above the pre-shift floor);
+* at least one candidate is promoted through the holdout gate;
+* after retraining, the online model's rolling MAPE is strictly lower
+  than the frozen model's on the stream's tail — drift recovery.
+
+Results go to ``BENCH_online.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_ONLINE_JSON
+from conftest import BENCH_SMOKE as SMOKE
+from conftest import record_bench
+
+from repro.scheduler import (
+    Fleet,
+    GoalAwareFleetPolicy,
+    LifecycleScheduler,
+    RebalanceConfig,
+    drift_phase_schedule,
+    generate_churn_stream,
+)
+from repro.serving import (
+    DriftConfig,
+    ModelServer,
+    OnlineLearner,
+    OnlineLearningConfig,
+    RetrainConfig,
+)
+from repro.topology import amd_opteron_6272
+
+N_REQUESTS = 280 if SMOKE else 600
+N_HOSTS = 6 if SMOKE else 10
+SEED = 11
+
+ONLINE_CONFIG = OnlineLearningConfig(
+    drift=DriftConfig(window=32, min_observations=16, threshold_pct=10.0),
+    retrain=RetrainConfig(max_new_workloads=24, n_grow=16),
+    retrain_cooldown=16,
+    shadow_min_observations=12,
+    shadow_max_observations=48,
+)
+#: The frozen baseline still carries a learner (identical MAPE
+#: accounting), but its threshold is unreachable: it can never retrain.
+FROZEN_CONFIG = OnlineLearningConfig(drift=DriftConfig(threshold_pct=1e9))
+
+
+def _stream():
+    return generate_churn_stream(
+        N_REQUESTS,
+        seed=SEED,
+        arrival_rate=2.0,
+        mean_lifetime=25.0,
+        vcpus_choices=(8,),
+        phases=drift_phase_schedule(),
+    )
+
+
+def _run(config):
+    server = ModelServer(seed=0)
+    learner = OnlineLearner(server, config)
+    engine = LifecycleScheduler(
+        Fleet.homogeneous(amd_opteron_6272(), N_HOSTS),
+        GoalAwareFleetPolicy(server),
+        config=RebalanceConfig(),
+        online=learner,
+    )
+    start = time.perf_counter()
+    report = engine.run(_stream())
+    elapsed = time.perf_counter() - start
+    return report, server, learner, elapsed
+
+
+def _mape_values(learner):
+    return [m for _, _, m in learner.stats.mape_timeline if m is not None]
+
+
+def _tail_mean(values, fraction=0.25):
+    tail = values[int(len(values) * (1.0 - fraction)) :]
+    return sum(tail) / len(tail)
+
+
+def test_online_learning_recovers_from_drift(report):
+    frozen_report, _, frozen_learner, frozen_s = _run(FROZEN_CONFIG)
+    online_report, server, online_learner, online_s = _run(ONLINE_CONFIG)
+
+    frozen_mape = _mape_values(frozen_learner)
+    online_mape = _mape_values(online_learner)
+    pre_shift_floor = min(frozen_mape)
+    frozen_tail = _tail_mean(frozen_mape)
+    online_tail = _tail_mean(online_mape)
+
+    # Gate 1: the phase shift genuinely degrades the frozen model.
+    assert frozen_learner.stats.retrains == 0
+    assert frozen_tail > 1.5 * pre_shift_floor, (
+        f"frozen model did not degrade across the shift "
+        f"(floor {pre_shift_floor:.1f}%, tail {frozen_tail:.1f}%)"
+    )
+    # Gate 2: at least one candidate cleared the paired holdout gate.
+    assert online_learner.stats.n_promotions >= 1, "no promotion happened"
+    promoted = server.promotions[0]
+    assert promoted.shadow_mape_pct < promoted.incumbent_mape_pct
+    # Gate 3: drift recovery — the online model's post-retrain rolling
+    # MAPE is strictly below the frozen model's on the same tail.
+    assert online_tail < frozen_tail, (
+        f"online tail MAPE {online_tail:.1f}% did not beat frozen "
+        f"{frozen_tail:.1f}%"
+    )
+
+    lines = [
+        f"phase-shift churn stream, {N_REQUESTS} requests over {N_HOSTS} "
+        f"AMD hosts, seed {SEED}{', SMOKE' if SMOKE else ''}:",
+        "",
+        f"{'model':>8} {'pre-shift MAPE':>15} {'tail MAPE':>10} "
+        f"{'retrains':>9} {'promotions':>11}",
+        f"{'frozen':>8} {pre_shift_floor:>14.1f}% {frozen_tail:>9.1f}% "
+        f"{0:>9} {0:>11}",
+        f"{'online':>8} {pre_shift_floor:>14.1f}% {online_tail:>9.1f}% "
+        f"{online_learner.stats.retrains:>9} "
+        f"{online_learner.stats.n_promotions:>11}",
+        "",
+        "promotions through the holdout gate:",
+    ]
+    lines += [f"  {record.describe()}" for record in server.promotions]
+    lines += [
+        "",
+        f"frozen engine: {frozen_report.n_requests / frozen_s:.0f} req/s, "
+        f"online engine: {online_report.n_requests / online_s:.0f} req/s "
+        f"(retraining inline)",
+    ]
+    report("online_drift_recovery", "\n".join(lines))
+
+    record_bench(
+        "online_drift_recovery",
+        {
+            "scenario": "goal-aware churn with canonical phase shift, "
+            f"AMD fleet, seed {SEED}",
+            "hosts": N_HOSTS,
+            "requests": N_REQUESTS,
+            "pre_shift_mape_pct": round(pre_shift_floor, 2),
+            "frozen_tail_mape_pct": round(frozen_tail, 2),
+            "online_tail_mape_pct": round(online_tail, 2),
+            "recovery_ratio": round(frozen_tail / online_tail, 2),
+            "drift_events": online_learner.stats.drift_events,
+            "retrains": online_learner.stats.retrains,
+            "promotions": online_learner.stats.n_promotions,
+            "shadow_discards": online_learner.stats.shadow_discards,
+            "frozen_rps": round(frozen_report.n_requests / frozen_s, 1),
+            "online_rps": round(online_report.n_requests / online_s, 1),
+        },
+        path=BENCH_ONLINE_JSON,
+    )

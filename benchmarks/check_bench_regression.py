@@ -1,0 +1,166 @@
+"""Benchmark-regression gate: compare two BENCH_*.json trajectories.
+
+CI snapshots the committed ``BENCH_fleet.json`` before the smoke
+benchmarks run, lets them merge their fresh numbers in, then runs this
+script against the snapshot.  Every *throughput* key (``*_rps``,
+``*per_second``, and the per-policy ``linear_rps``/``indexed_rps``
+entries) present in both files — under scenario keys that match exactly,
+so smoke numbers only ever compare against smoke numbers — must not have
+regressed by more than the allowed fraction.
+
+The committed numbers and the fresh run come from *different machines*
+(a developer laptop vs. a CI runner), so raw ratios mix genuine
+regressions with machine speed.  The gate therefore normalizes by the
+run's **median throughput ratio**: if every key is uniformly 2x slower,
+that is the runner being slower and nothing fails; a key that drops more
+than the allowed fraction *relative to the median* means one code path
+regressed while the others did not — which is exactly the signal a
+throughput gate exists for.  Pass ``--no-normalize`` for raw absolute
+comparison (useful when baseline and current come from the same
+machine).
+
+Non-throughput keys (counts, speedup ratios, MAPE) are informational and
+not gated: they are asserted by the benchmarks themselves.
+
+Exit status: 0 when every compared key passes, 1 otherwise.
+
+Usage:
+    python benchmarks/check_bench_regression.py BASELINE CURRENT \\
+        [--max-regression 0.30] [--no-normalize]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict, Iterator, Tuple
+
+
+def _throughput_keys(
+    payload: dict, prefix: str = ""
+) -> Iterator[Tuple[str, float]]:
+    """Yield (dotted key path, value) for every throughput-like number."""
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from _throughput_keys(value, prefix=f"{path}.")
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if key.endswith("_rps") or "per_second" in key:
+                yield path, float(value)
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    max_regression: float,
+    *,
+    normalize: bool = True,
+    only_smoke: bool = False,
+) -> Tuple[list, list, float]:
+    """(rows, failures, median_ratio) over shared throughput keys.
+
+    ``only_smoke`` restricts the comparison (and the normalization
+    median) to ``*_smoke`` scenarios — what CI must pass, because a smoke
+    run re-measures only those: the untouched full-size keys would sit at
+    ratio exactly 1.0 and drag the machine-speed median toward 1.0,
+    defeating the normalization.
+    """
+    base_scenarios: Dict[str, dict] = baseline.get("scenarios", {})
+    curr_scenarios: Dict[str, dict] = current.get("scenarios", {})
+    pairs = []
+    for name in sorted(set(base_scenarios) & set(curr_scenarios)):
+        if only_smoke and not name.endswith("_smoke"):
+            continue
+        base_keys = dict(_throughput_keys(base_scenarios[name]))
+        curr_keys = dict(_throughput_keys(curr_scenarios[name]))
+        for key in sorted(set(base_keys) & set(curr_keys)):
+            if base_keys[key] > 0:
+                pairs.append((name, key, base_keys[key], curr_keys[key]))
+    if not pairs:
+        return [], [], 1.0
+    median_ratio = (
+        statistics.median(after / before for _, _, before, after in pairs)
+        if normalize
+        else 1.0
+    )
+    rows, failures = [], []
+    for name, key, before, after in pairs:
+        change = after / (before * median_ratio) - 1.0
+        ok = change >= -max_regression
+        rows.append((name, key, before, after, change, ok))
+        if not ok:
+            failures.append((name, key, before, after, change))
+    return rows, failures, median_ratio
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed trajectory JSON")
+    parser.add_argument("current", help="freshly produced trajectory JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional throughput drop per key, relative to "
+        "the run's median ratio (default 0.30)",
+    )
+    parser.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="compare raw throughputs without median-ratio machine-speed "
+        "normalization",
+    )
+    parser.add_argument(
+        "--only-smoke",
+        action="store_true",
+        help="gate only *_smoke scenarios (what a REPRO_BENCH_SMOKE=1 "
+        "run re-measures; keeps untouched full-size keys out of the "
+        "normalization median)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.max_regression < 1:
+        parser.error("--max-regression must be in [0, 1)")
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, "r", encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    rows, failures, median_ratio = compare(
+        baseline,
+        current,
+        args.max_regression,
+        normalize=not args.no_normalize,
+        only_smoke=args.only_smoke,
+    )
+    if not rows:
+        # A gate that silently compares nothing would pass forever.
+        print("no shared throughput keys to compare — failing the gate")
+        return 1
+
+    if not args.no_normalize:
+        print(
+            f"machine-speed normalization: median throughput ratio "
+            f"{median_ratio:.2f}x (changes below are relative to it)\n"
+        )
+    width = max(len(f"{name}:{key}") for name, key, *_ in rows)
+    for name, key, before, after, change, ok in rows:
+        status = "ok  " if ok else "FAIL"
+        print(
+            f"{status} {f'{name}:{key}':<{width}} "
+            f"{before:>10.1f} -> {after:>10.1f} ({change:+.1%})"
+        )
+    if failures:
+        print(
+            f"\n{len(failures)} throughput key(s) regressed more than "
+            f"{args.max_regression:.0%}"
+        )
+        return 1
+    print(f"\nall {len(rows)} throughput keys within {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,13 @@ BENCH_JSON = os.path.abspath(
     os.path.join(os.path.dirname(__file__), "..", "BENCH_fleet.json")
 )
 
+#: Online-learning benchmark trajectory (drift recovery numbers), kept in
+#: its own committed file — the fleet file tracks throughput, this one
+#: tracks model-quality dynamics.
+BENCH_ONLINE_JSON = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_online.json")
+)
+
 
 def _current_commit() -> str:
     try:
@@ -59,8 +66,9 @@ def _current_commit() -> str:
         return "unknown"
 
 
-def record_bench(scenario: str, payload: dict) -> None:
-    """Merge one scenario's numbers into ``BENCH_fleet.json``.
+def record_bench(scenario: str, payload: dict, *, path: str | None = None) -> None:
+    """Merge one scenario's numbers into a committed trajectory file
+    (``BENCH_fleet.json`` by default; pass ``path`` for others).
 
     Read-merge-write so the fleet-scheduler, index, and churn benchmarks
     (and future ones) share the file without clobbering each other.
@@ -68,10 +76,12 @@ def record_bench(scenario: str, payload: dict) -> None:
     committed full-size trajectory survives a developer (or CI) running
     the documented ``REPRO_BENCH_SMOKE=1`` command.
     """
+    if path is None:
+        path = BENCH_JSON
     data: dict = {}
-    if os.path.exists(BENCH_JSON):
+    if os.path.exists(path):
         try:
-            with open(BENCH_JSON, "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except (OSError, ValueError):
             data = {}
@@ -80,7 +90,7 @@ def record_bench(scenario: str, payload: dict) -> None:
     scenarios = data.setdefault("scenarios", {})
     key = f"{scenario}_smoke" if BENCH_SMOKE else scenario
     scenarios[key] = {"commit": commit, "smoke": BENCH_SMOKE, **payload}
-    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+    with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
 

@@ -16,6 +16,16 @@ Subcommands mirror the paper's steps:
   engine replays timestamped arrivals and departures, tracks
   fragmentation, and (unless ``--no-rebalance``) recovers
   fragmentation rejects with cost-gated container migrations.
+  With ``--online-learning`` (implies ``--churn``), the serving loop
+  closes: graded placements feed a trace store, rolling-MAPE drift
+  triggers warm-start retraining, and candidates shadow the incumbent
+  until they clear the holdout gate and promote.  ``--phase-shift``
+  applies the canonical mid-stream workload-mix shift that makes a
+  frozen model drift.
+
+Every subcommand accepts ``--seed``; it drives all randomness the command
+uses (request streams, simulators, model fitting), so runs are
+reproducible end to end from the command line.
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -92,10 +102,10 @@ def cmd_enumerate(args) -> int:
 def cmd_predict(args) -> int:
     machine = _machine(args.machine)
     workload = workload_by_name(args.workload)
-    model, training_set = fitted_model(machine)
+    model, training_set = fitted_model(machine, random_state=args.seed)
     placements = training_set.placements
     i, j = model.input_pair
-    simulator = PerformanceSimulator(machine)
+    simulator = PerformanceSimulator(machine, seed=args.seed)
     obs_i = simulator.measured_ipc(workload, placements[i], duration_s=3.0)
     obs_j = simulator.measured_ipc(workload, placements[j], duration_s=3.0)
     vector = model.predict(obs_i, obs_j)
@@ -128,8 +138,8 @@ def cmd_predict(args) -> int:
 def cmd_policies(args) -> int:
     machine = _machine(args.machine)
     workload = workload_by_name(args.workload)
-    simulator = PerformanceSimulator(machine)
-    model, training_set = fitted_model(machine)
+    simulator = PerformanceSimulator(machine, seed=args.seed)
+    model, training_set = fitted_model(machine, random_state=args.seed)
     placements = training_set.placements
     baseline = placements[model.input_pair[0]]
     vcpus = paper_vcpus(machine)
@@ -169,9 +179,32 @@ def cmd_schedule(args) -> int:
         ModelRegistry,
         RebalanceConfig,
         SpreadFleetPolicy,
+        drift_phase_schedule,
         generate_churn_stream,
         generate_request_stream,
     )
+
+    if args.online_learning:
+        # Online learning is a property of the event-driven engine: the
+        # loop closes on *observed* placements over time.
+        args.churn = True
+        if args.policy != "ml":
+            raise SystemExit(
+                "--online-learning needs --policy ml (heuristic policies "
+                "make no predictions to retrain on)"
+            )
+        if args.naive:
+            raise SystemExit(
+                "--online-learning needs the memoized registry "
+                "(drop --naive)"
+            )
+    if args.phase_shift and not args.churn:
+        raise SystemExit(
+            "--phase-shift applies to churn streams; add --churn "
+            "(or --online-learning)"
+        )
+    if args.drift_threshold is not None and args.drift_threshold <= 0:
+        raise SystemExit("--drift-threshold must be positive")
 
     try:
         vcpus_choices = tuple(
@@ -212,11 +245,28 @@ def cmd_schedule(args) -> int:
         fleet = Fleet.homogeneous(_machine(args.machine), args.hosts)
 
     indexed = not (args.naive or args.linear_scan)
-    registry = ModelRegistry(
-        seed=args.seed,
-        memoize_enumeration=not args.naive,
-        memoize_ipc=not args.naive,
-    )
+    if args.online_learning:
+        from repro.serving import (
+            DriftConfig,
+            ModelServer,
+            OnlineLearner,
+            OnlineLearningConfig,
+        )
+
+        registry = ModelServer(seed=args.seed)
+        drift = (
+            DriftConfig(threshold_pct=args.drift_threshold)
+            if args.drift_threshold is not None
+            else DriftConfig()
+        )
+        learner = OnlineLearner(registry, OnlineLearningConfig(drift=drift))
+    else:
+        registry = ModelRegistry(
+            seed=args.seed,
+            memoize_enumeration=not args.naive,
+            memoize_ipc=not args.naive,
+        )
+        learner = None
     if args.policy == "ml":
         policy = GoalAwareFleetPolicy(registry, indexed=indexed)
     elif args.policy == "first-fit":
@@ -232,6 +282,7 @@ def cmd_schedule(args) -> int:
             arrival_rate=args.arrival_rate,
             mean_lifetime=args.mean_lifetime,
             heavy_tail=args.heavy_tail,
+            phases=drift_phase_schedule() if args.phase_shift else None,
         )
         engine = LifecycleScheduler(
             fleet,
@@ -241,6 +292,7 @@ def cmd_schedule(args) -> int:
                 enabled=not args.no_rebalance,
                 reject_penalty_seconds=args.penalty_seconds,
             ),
+            online=learner,
         )
         report = engine.run(requests)
     else:
@@ -256,6 +308,9 @@ def cmd_schedule(args) -> int:
         )
         report = scheduler.run(requests)
     print(report.describe())
+    if args.online_learning:
+        print()
+        print(registry.describe_chains())
     if args.trace:
         print()
         for graded in report.decisions[: args.trace]:
@@ -286,39 +341,63 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    # One seed for every subcommand: any randomness a command uses
+    # (streams, simulators, model fitting) derives from it, so a repeated
+    # invocation with the same flags reproduces bit for bit.
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="drives all randomness this command uses (default 0)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("machines", help="list machine models").set_defaults(
-        func=cmd_machines
-    )
+    sub.add_parser(
+        "machines", help="list machine models", parents=[seed_parent]
+    ).set_defaults(func=cmd_machines)
 
-    p = sub.add_parser("concerns", help="show a machine's scheduling concerns")
+    p = sub.add_parser(
+        "concerns",
+        help="show a machine's scheduling concerns",
+        parents=[seed_parent],
+    )
     p.add_argument("--machine", default="amd", choices=sorted(MACHINES))
     p.set_defaults(func=cmd_concerns)
 
-    p = sub.add_parser("enumerate", help="list important placements")
+    p = sub.add_parser(
+        "enumerate", help="list important placements", parents=[seed_parent]
+    )
     p.add_argument("--machine", default="amd", choices=sorted(MACHINES))
     p.add_argument("--vcpus", type=int, default=None)
     p.set_defaults(func=cmd_enumerate)
 
-    p = sub.add_parser("predict", help="predict a workload's vector")
+    p = sub.add_parser(
+        "predict", help="predict a workload's vector", parents=[seed_parent]
+    )
     p.add_argument("--machine", default="amd", choices=sorted(MACHINES))
     p.add_argument("--workload", default="WTbtree")
     p.add_argument("--goal", type=float, default=None)
     p.set_defaults(func=cmd_predict)
 
-    p = sub.add_parser("policies", help="compare packing policies")
+    p = sub.add_parser(
+        "policies", help="compare packing policies", parents=[seed_parent]
+    )
     p.add_argument("--machine", default="amd", choices=sorted(MACHINES))
     p.add_argument("--workload", default="WTbtree")
     p.add_argument("--goal", type=float, default=1.0)
     p.set_defaults(func=cmd_policies)
 
-    p = sub.add_parser("migrate-plan", help="price container migration")
+    p = sub.add_parser(
+        "migrate-plan", help="price container migration", parents=[seed_parent]
+    )
     p.add_argument("--workload", default=None)
     p.set_defaults(func=cmd_migrate_plan)
 
     p = sub.add_parser(
-        "schedule", help="place a request stream across a simulated fleet"
+        "schedule",
+        help="place a request stream across a simulated fleet",
+        parents=[seed_parent],
     )
     p.add_argument(
         "--machine",
@@ -343,7 +422,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests decided per policy call (one-shot mode only; "
         "default 64)",
     )
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--naive",
         action="store_true",
@@ -407,6 +485,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=120.0,
         help="migration-time budget the rebalancer may spend to recover "
         "one rejected request (default 120)",
+    )
+    online = p.add_argument_group(
+        "online learning options",
+        "closed-loop model lifecycle (--online-learning, implies --churn)",
+    )
+    online.add_argument(
+        "--online-learning",
+        action="store_true",
+        help="close the serving loop: trace every graded ML placement, "
+        "retrain on rolling-MAPE drift, shadow candidates against the "
+        "incumbent, and promote through the holdout gate",
+    )
+    online.add_argument(
+        "--phase-shift",
+        action="store_true",
+        help="apply the canonical mid-stream workload-mix shift (the "
+        "drift scenario a frozen model degrades on)",
+    )
+    online.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="rolling MAPE (percent) above which a partition counts as "
+        "drifted (default 12)",
     )
     p.set_defaults(func=cmd_schedule)
 

@@ -254,6 +254,11 @@ class BlockScoreCache:
 
     def __init__(self) -> None:
         self._tables: Dict[Tuple, BlockScoreTable] = {}
+        #: fingerprint -> current version.  Entries are keyed with the
+        #: version current at build time, so bumping a shape's version
+        #: (model promotion) orphans exactly that shape's tables — every
+        #: other shape keeps serving its existing tables untouched.
+        self._versions: Dict[Tuple, int] = {}
         self._hits = 0
         self._misses = 0
 
@@ -267,7 +272,8 @@ class BlockScoreCache:
             )
         if machine.n_nodes > MAX_TABLE_NODES:
             return None
-        key = (machine.fingerprint(), kind)
+        fingerprint = machine.fingerprint()
+        key = (fingerprint, kind, self._versions.get(fingerprint, 0))
         table = self._tables.get(key)
         if table is not None:
             self._hits += 1
@@ -282,11 +288,35 @@ class BlockScoreCache:
         self._tables[key] = table
         return table
 
+    def version(self, fingerprint: Tuple) -> int:
+        """The shape's current table version (0 until first invalidation)."""
+        return self._versions.get(fingerprint, 0)
+
+    def invalidate(self, fingerprint: Tuple) -> int:
+        """Version-bump one shape: drop its tables (all kinds, all stale
+        versions) and return the new version.
+
+        Called on model promotion.  The block *scores* are pure functions
+        of the shape, but each table accumulates memoized target-match
+        lists (``near_cache``/``match_cache``) for exactly the target
+        scores the retiring model version asked about; a promoted version
+        asks about different candidate placements, so the stale lists are
+        dropped with the table and the next lookup rebuilds for the new
+        version's working set.  Other shapes' entries are untouched.
+        """
+        version = self._versions.get(fingerprint, 0) + 1
+        self._versions[fingerprint] = version
+        stale = [key for key in self._tables if key[0] == fingerprint]
+        for key in stale:
+            del self._tables[key]
+        return version
+
     def info(self) -> CacheInfo:
         return CacheInfo(self._hits, self._misses, len(self._tables))
 
     def clear(self) -> None:
         self._tables.clear()
+        self._versions.clear()
         self._hits = 0
         self._misses = 0
 

@@ -213,6 +213,61 @@ class PlacementModel:
         self.fit_seconds_ = time.perf_counter() - start
         return self
 
+    def warm_refit(
+        self,
+        training_set: TrainingSet,
+        *,
+        n_grow: int = 16,
+        tree_budget: int | None = None,
+    ) -> "PlacementModel":
+        """A new model continuing this one's forest on an extended corpus.
+
+        The grow-and-prune budget discipline of online retraining: the
+        candidate starts from the incumbent's trees (they are read-only
+        once fitted, so sharing them is safe), grows ``n_grow`` fresh trees
+        on the extended training set, then prunes the *oldest* trees back
+        to ``tree_budget`` (default: the incumbent's size, so serving cost
+        stays flat across retrains).  The input pair is inherited — the
+        predicted vectors of incumbent and candidate stay normalized to the
+        same baseline placement, which is what makes their shadow-mode
+        errors directly comparable.
+
+        Returns a fresh :class:`PlacementModel`; the incumbent is not
+        modified and keeps serving until the candidate is promoted.
+        """
+        if self._forest is None or self.input_pair is None:
+            raise RuntimeError("warm_refit() called before fit()")
+        if training_set.n_placements != self._n_placements:
+            raise ValueError(
+                f"training set has {training_set.n_placements} placements, "
+                f"model was fitted for {self._n_placements}"
+            )
+        if tree_budget is None:
+            tree_budget = len(self._forest.trees_)
+        start = time.perf_counter()
+        i, j = self.input_pair
+        ipc = training_set.ipc
+        X = _pair_features(ipc[:, i], ipc[:, j])
+        Y = ipc / ipc[:, i : i + 1]
+
+        forest = RandomForestRegressor(
+            n_estimators=len(self._forest.trees_),
+            random_state=self.random_state,
+        )
+        forest.trees_ = list(self._forest.trees_)
+        forest.grow(X, Y, n_grow)
+        forest.prune(tree_budget)
+
+        candidate = PlacementModel(
+            input_pair=self.input_pair,
+            n_estimators=len(forest.trees_),
+            random_state=self.random_state,
+        )
+        candidate._forest = forest
+        candidate._n_placements = self._n_placements
+        candidate.fit_seconds_ = time.perf_counter() - start
+        return candidate
+
     # ------------------------------------------------------------------
 
     @property

@@ -188,6 +188,59 @@ def build_training_set(
     )
 
 
+def extend_training_set(
+    base: TrainingSet,
+    new_workloads: Sequence[WorkloadProfile],
+    *,
+    simulator: PerformanceSimulator | None = None,
+    noise: bool = True,
+    repetition: int = 0,
+) -> TrainingSet:
+    """Warm-start corpus growth: simulate *only* the new rows and append.
+
+    The online retraining loop (:mod:`repro.serving.retrain`) folds freshly
+    observed workloads into an existing corpus.  Re-running
+    :func:`build_training_set` on the union would re-simulate every old row
+    per retrain; this appends new rows to the existing matrices instead, so
+    a retrain costs ``len(new_workloads) x len(placements)`` simulator runs
+    however large the accumulated corpus is.  Workloads whose *name* is
+    already in the base set are skipped (an arrival stream repeats
+    profiles; duplicated rows would just re-weight them).
+    """
+    existing = set(base.names)
+    fresh = [w for w in new_workloads if w.name not in existing]
+    if not fresh:
+        return base
+    if simulator is None:
+        simulator = PerformanceSimulator(base.machine)
+    placements = base.placements
+    monitor = HpeMonitor(simulator)
+
+    ipc_rows = np.zeros((len(fresh), len(placements)))
+    hpe_rows = []
+    for row, profile in enumerate(fresh):
+        for col, placement in enumerate(placements):
+            ipc_rows[row, col] = simulator.measured_ipc(
+                profile, placement, noise=noise, repetition=repetition
+            )
+        values = monitor.measure(
+            profile, placements[base.baseline_index], repetition=repetition
+        )
+        hpe_rows.append([values[name] for name in base.hpe_names])
+
+    ipc = np.vstack([base.ipc, ipc_rows])
+    return TrainingSet(
+        machine=base.machine,
+        placements=placements,
+        workloads=list(base.workloads) + fresh,
+        ipc=ipc,
+        vectors=ipc / ipc[:, base.baseline_index : base.baseline_index + 1],
+        hpe_features=np.vstack([base.hpe_features, np.asarray(hpe_rows)]),
+        hpe_names=list(base.hpe_names),
+        baseline_index=base.baseline_index,
+    )
+
+
 @dataclass
 class FoldResult:
     """Cross-validation result for one held-out workload."""

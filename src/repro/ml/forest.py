@@ -92,6 +92,70 @@ class RandomForestRegressor:
         )
         return self
 
+    def grow(self, X: np.ndarray, y: np.ndarray, n_more: int) -> "RandomForestRegressor":
+        """Append ``n_more`` trees fitted on ``(X, y)`` without touching the
+        existing ones — the warm-start half of grow-and-prune retraining.
+
+        The new trees' seeds derive from ``(random_state, current tree
+        count)``, so growing is deterministic given the forest's history:
+        the same base forest grown on the same data always produces the
+        same trees, regardless of wall clock or call site.
+        """
+        if n_more < 1:
+            raise ValueError("n_more must be >= 1")
+        if not self.trees_:
+            raise RuntimeError("grow() called before fit(); use fit() first")
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y) or len(X) == 0:
+            raise ValueError("grow() needs a non-empty aligned (X, y)")
+        rng = np.random.default_rng(
+            (self.random_state or 0) + 1_000_003 * len(self.trees_)
+        )
+        n = len(X)
+        for _ in range(n_more):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            if self.bootstrap:
+                indices = rng.integers(0, n, size=n)
+            else:
+                indices = np.arange(n)
+            tree.fit(X[indices], y[indices])
+            self.trees_.append(tree)
+        self.n_estimators = len(self.trees_)
+        self._recompute_importances()
+        return self
+
+    def prune(self, budget: int) -> "RandomForestRegressor":
+        """Drop the *oldest* trees until at most ``budget`` remain — the
+        prune half of grow-and-prune retraining.  Oldest-first because the
+        oldest trees were fitted on the stalest corpus; after enough
+        grow/prune cycles a drifted workload population fully replaces the
+        ensemble without ever refitting it wholesale."""
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        if not self.trees_:
+            raise RuntimeError("prune() called before fit()")
+        if len(self.trees_) > budget:
+            self.trees_ = self.trees_[len(self.trees_) - budget :]
+            self.n_estimators = len(self.trees_)
+            self._recompute_importances()
+        return self
+
+    def _recompute_importances(self) -> None:
+        importances = np.zeros_like(self.trees_[0].feature_importances_)
+        for tree in self.trees_:
+            importances = importances + tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Forest mean over all rows of ``X`` at once.
 

@@ -171,19 +171,60 @@ class WorkloadGenerator:
     jitter:
         Relative spread applied to each characteristic (lognormal for
         positive quantities, gaussian for bounded ones).
+    namespace:
+        Optional tag baked into generated names
+        (``synthetic-<archetype>-<namespace>-NNNN``).  Names are only
+        unique *within* one generator; anything that mixes corpora from
+        several generators and deduplicates by name — the trace-fed
+        retrainer does exactly that — must namespace them apart.
     """
 
-    def __init__(self, *, seed: int = 0, jitter: float = 0.35) -> None:
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        jitter: float = 0.35,
+        namespace: str | None = None,
+    ) -> None:
         if jitter < 0:
             raise ValueError("jitter must be >= 0")
         self._rng = np.random.default_rng(seed)
         self.jitter = jitter
+        self.namespace = namespace
         self._counter = 0
 
-    def sample_one(self, archetype: Archetype | str | None = None) -> WorkloadProfile:
-        """One random workload, optionally forced to an archetype."""
+    def sample_one(
+        self,
+        archetype: Archetype | str | None = None,
+        *,
+        weights: Dict[str, float] | None = None,
+        template_scale: Dict[str, float] | None = None,
+    ) -> WorkloadProfile:
+        """One random workload, optionally forced to an archetype.
+
+        Parameters
+        ----------
+        archetype:
+            Force a specific archetype (by object or name); ``None`` draws
+            one — uniformly, or per ``weights``.
+        weights:
+            Archetype-name -> relative weight for the draw (names absent
+            from the dict get weight 0).  This is how a phase-shift
+            schedule changes the *arrival mix*: the same archetypes, a
+            different distribution over them.  Ignored when ``archetype``
+            is given.
+        template_scale:
+            Characteristic-name -> multiplier applied to the archetype's
+            template *before* jitter (bounded characteristics are still
+            clipped afterwards).  This is how a phase-shift schedule moves
+            workloads *out of distribution*: the post-shift population is
+            centred where no training corpus sample ever was.
+        """
         if archetype is None:
-            archetype = ARCHETYPES[int(self._rng.integers(len(ARCHETYPES)))]
+            if weights is not None:
+                archetype = self._weighted_archetype(weights)
+            else:
+                archetype = ARCHETYPES[int(self._rng.integers(len(ARCHETYPES)))]
         elif isinstance(archetype, str):
             matches = [a for a in ARCHETYPES if a.name == archetype]
             if not matches:
@@ -192,10 +233,19 @@ class WorkloadGenerator:
                     f"{', '.join(a.name for a in ARCHETYPES)}"
                 )
             archetype = matches[0]
+        template = dict(archetype.template)
+        if template_scale:
+            unknown = sorted(set(template_scale) - set(template))
+            if unknown:
+                raise KeyError(
+                    f"template_scale names unknown characteristics: {unknown}"
+                )
+            for field, factor in template_scale.items():
+                template[field] = template[field] * factor
 
         rng = self._rng
         params: Dict[str, float] = {}
-        for field, centre in archetype.template.items():
+        for field, centre in template.items():
             if field in _POSITIVE_FIELDS:
                 params[field] = float(
                     centre * np.exp(rng.normal(0.0, self.jitter))
@@ -212,8 +262,9 @@ class WorkloadGenerator:
                 params[field] = centre
 
         self._counter += 1
+        tag = f"{self.namespace}-" if self.namespace else ""
         return WorkloadProfile(
-            name=f"synthetic-{archetype.name}-{self._counter:04d}",
+            name=f"synthetic-{archetype.name}-{tag}{self._counter:04d}",
             ipc_base=float(np.exp(rng.normal(2.0, 1.0))),
             phase_noise=float(rng.uniform(0.005, 0.025)),
             memory_gb=float(np.exp(rng.normal(1.0, 1.2))),
@@ -221,6 +272,25 @@ class WorkloadGenerator:
             n_tasks=int(rng.integers(16, 64)),
             **params,
         )
+
+    def _weighted_archetype(self, weights: Dict[str, float]) -> Archetype:
+        """Draw an archetype per the weight dict (deterministic in the
+        generator's RNG stream)."""
+        known = {a.name for a in ARCHETYPES}
+        unknown = sorted(set(weights) - known)
+        if unknown:
+            raise KeyError(
+                f"unknown archetypes in weights: {unknown}; available: "
+                f"{', '.join(sorted(known))}"
+            )
+        values = np.array(
+            [max(0.0, float(weights.get(a.name, 0.0))) for a in ARCHETYPES]
+        )
+        total = values.sum()
+        if total <= 0:
+            raise ValueError("weights must include at least one positive entry")
+        index = int(self._rng.choice(len(ARCHETYPES), p=values / total))
+        return ARCHETYPES[index]
 
     def sample(self, n: int) -> List[WorkloadProfile]:
         """A corpus of ``n`` random workloads cycling through archetypes so

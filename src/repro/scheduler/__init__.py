@@ -50,7 +50,9 @@ from repro.scheduler.policies import (
 )
 from repro.scheduler.registry import ModelRegistry
 from repro.scheduler.requests import (
+    ArrivalPhase,
     PlacementRequest,
+    drift_phase_schedule,
     generate_churn_stream,
     generate_request_stream,
 )
@@ -62,7 +64,9 @@ from repro.scheduler.scheduler import (
 )
 
 __all__ = [
+    "ArrivalPhase",
     "ChurnStats",
+    "drift_phase_schedule",
     "EventKind",
     "EventQueue",
     "Fleet",

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from repro.core.blockscores import block_score_table
 from repro.core.placements import Placement
@@ -53,6 +53,9 @@ from repro.scheduler.scheduler import (
     GradedDecision,
     grade_decision,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.serving.online import OnlineLearner
 
 
 @dataclass(frozen=True)
@@ -202,6 +205,13 @@ class LifecycleScheduler:
     config:
         Rebalancer gate; ``RebalanceConfig(enabled=False)`` gives the
         no-migration baseline.
+    online:
+        Optional :class:`~repro.serving.online.OnlineLearner` closing the
+        model-lifecycle loop: every graded ML placement is fed back as a
+        :class:`~repro.serving.traces.PlacementObservation`, and the
+        learner may retrain/promote the registry's models mid-stream.
+        ``None`` (the default) reproduces the frozen-model pipeline
+        bit for bit.
     """
 
     def __init__(
@@ -212,6 +222,7 @@ class LifecycleScheduler:
         registry: ModelRegistry | None = None,
         planner: MigrationPlanner | None = None,
         config: RebalanceConfig | None = None,
+        online: "OnlineLearner | None" = None,
     ) -> None:
         self.fleet = fleet
         self.policy = policy or GoalAwareFleetPolicy()
@@ -220,6 +231,28 @@ class LifecycleScheduler:
         self.registry = registry
         self.planner = planner or MigrationPlanner()
         self.config = config or RebalanceConfig()
+        self.online = online
+        if online is not None:
+            if online.server is not registry:
+                raise ValueError(
+                    "the online learner must drive the scheduler's own "
+                    "registry (its ModelServer), or promotions would "
+                    "retrain a model the policies never consult"
+                )
+            policy_probe = getattr(self.policy, "probe_duration_s", None)
+            if (
+                policy_probe is not None
+                and policy_probe != online.config.probe_duration_s
+            ):
+                # The learner re-reads each decision's probe IPCs through
+                # the registry memo; a different probe duration draws a
+                # different noise multiplier, so the observations would
+                # not be the inputs the prediction actually consumed.
+                raise ValueError(
+                    f"online learner probe_duration_s "
+                    f"({online.config.probe_duration_s}) must match the "
+                    f"policy's ({policy_probe})"
+                )
         #: Requests currently running (id -> request), the profile source
         #: for migration pricing and the departure filter.
         self._active: Dict[int, PlacementRequest] = {}
@@ -274,6 +307,7 @@ class LifecycleScheduler:
             decisions=graded,
             elapsed_seconds=elapsed,
             churn=stats,
+            online=self.online.stats if self.online is not None else None,
         )
 
     def _handle_arrival(
@@ -305,6 +339,15 @@ class LifecycleScheduler:
         if decision.placed:
             self._active[request.request_id] = request
             self._graded_by_id[request.request_id] = entry
+            if self.online is not None:
+                # Close the prediction loop: the learner may detect drift,
+                # retrain, shadow-score, or promote — all before the next
+                # event is decided.
+                self.online.observe(
+                    self.fleet.hosts[decision.host_id].machine,
+                    entry,
+                    event.time,
+                )
         return entry
 
     def _handle_departure(

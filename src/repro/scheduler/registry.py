@@ -34,7 +34,7 @@ from repro.core.enumeration import (
 from repro.core.memo import CacheInfo, EnumerationCache
 from repro.core.model import PlacementModel
 from repro.core.placements import Placement
-from repro.core.training import build_training_set
+from repro.core.training import TrainingSet, build_training_set
 from repro.experiments import CANONICAL_PAIRS, paper_vcpus, training_corpus
 from repro.perfsim.simulator import PerformanceSimulator
 from repro.perfsim.workload import WorkloadProfile
@@ -83,9 +83,14 @@ class ModelRegistry:
         #: Enumeration pipeline runs that bypassed the cache (naive mode).
         self.uncached_enumerations = 0
         self._models: Dict[Tuple, PlacementModel] = {}
+        #: (fingerprint, vcpus) -> the TrainingSet the key's model was
+        #: fitted on, retained so online retraining can warm-start (append
+        #: rows) instead of re-simulating the whole corpus.
+        self._training_sets: Dict[Tuple, TrainingSet] = {}
         self._simulators: Dict[Tuple, PerformanceSimulator] = {}
         self._corpus: List[WorkloadProfile] | None = None
-        #: (fingerprint, vcpus, profile) -> baseline (denominator) IPC.
+        #: (fingerprint, vcpus, profile, model-version token) -> baseline
+        #: (denominator) IPC.
         self._baseline_ipc: Dict[Tuple, float] = {}
         #: (fingerprint, profile, placement) -> noise-free solo IPC.
         self._solo_ipc: Dict[Tuple, float] = {}
@@ -182,7 +187,32 @@ class ModelRegistry:
         )
         model.fit(training_set)
         self._models[key] = model
+        self._training_sets[key] = training_set
         return model
+
+    def training_set(
+        self, machine: MachineTopology, vcpus: int
+    ) -> TrainingSet:
+        """The corpus the key's model was fitted on (fitting it first if
+        needed) — the warm-start base for online retraining."""
+        key = (machine.fingerprint(), int(vcpus))
+        if key not in self._training_sets:
+            self.model(machine, vcpus)
+        return self._training_sets[key]
+
+    def model_version_token(
+        self, machine: MachineTopology, vcpus: int
+    ) -> int:
+        """Cache-key component tying model-derived memo entries to the
+        model version that produced them.
+
+        The plain registry serves exactly one (frozen) model per key, so
+        the token is constant; :class:`~repro.serving.server.ModelServer`
+        overrides it with the key's active version id, which is what makes
+        promotion invalidate exactly the stale ``baseline_ipc`` entries —
+        same floats, different cache identity.
+        """
+        return 0
 
     # ------------------------------------------------------------------
     # Noise-free IPC memoization (the grader's hot path)
@@ -263,7 +293,17 @@ class ModelRegistry:
             return self.solo_ipc(
                 machine, profile, self.baseline_placement(machine, vcpus)
             )
-        key = (machine.fingerprint(), int(vcpus), profile)
+        # Version-keyed: the denominator depends on the *model's* baseline
+        # placement (its input pair's first element), so a promoted model
+        # version with a different pair must not be served another
+        # version's entries.  solo_ipc stays unversioned — it is keyed by
+        # the concrete placement, which no model version can change.
+        key = (
+            machine.fingerprint(),
+            int(vcpus),
+            profile,
+            self.model_version_token(machine, vcpus),
+        )
         value = self._baseline_ipc.get(key)
         if value is None:
             value = self.solo_ipc(

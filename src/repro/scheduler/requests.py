@@ -21,8 +21,8 @@ containers arrive *and* leave and free capacity fragments across hosts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -110,8 +110,15 @@ def generate_request_stream(
         raise ValueError("goal_choices must not be empty")
     rng = np.random.default_rng(seed)
     base = paper_workloads()
+    # Namespaced: synthetic names are only unique per generator, and an
+    # online-learning run deduplicates observed workloads against its
+    # training corpus *by name* — an un-namespaced stream would collide
+    # with the corpus's own synthetic names and silently mask novel
+    # workloads from retraining.
     generator = (
-        WorkloadGenerator(seed=seed, jitter=jitter) if jitter > 0 else None
+        WorkloadGenerator(seed=seed, jitter=jitter, namespace="stream")
+        if jitter > 0
+        else None
     )
     requests: List[PlacementRequest] = []
     for request_id in range(1, n_requests + 1):
@@ -132,6 +139,100 @@ def generate_request_stream(
     return requests
 
 
+@dataclass(frozen=True)
+class ArrivalPhase:
+    """One segment of a phase-shift schedule: from ``start_fraction`` of
+    the stream onward, arrivals draw their workloads from this mix.
+
+    ``archetype_weights`` changes *which* behaviour categories arrive
+    (the mix shift); ``template_scale`` moves the categories' centres so
+    the post-shift population is out of the training distribution (the
+    concept shift).  ``None`` weights sample all archetypes uniformly.
+    """
+
+    start_fraction: float
+    archetype_weights: Dict[str, float] | None = None
+    template_scale: Dict[str, float] | None = None
+    jitter: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise ValueError("start_fraction must be in [0, 1)")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+
+def drift_phase_schedule() -> List[ArrivalPhase]:
+    """The canonical two-phase drift scenario used by the CLI, the
+    online-learning example, and ``benchmarks/bench_online.py``.
+
+    Phase 1 is a tame, in-distribution mix (the training corpus covers
+    these archetypes at these centres).  Phase 2 shifts the arrival mix to
+    communication- and bandwidth-heavy archetypes *and* rescales their
+    templates — bigger working sets, far chattier threads — a population
+    the offline corpus never sampled.  A frozen model's rolling MAPE
+    degrades across the shift; the online loop retrains on the observed
+    arrivals and recovers.
+    """
+    return [
+        ArrivalPhase(
+            start_fraction=0.0,
+            archetype_weights={
+                "cpu-bound": 2.0,
+                "cache-capacity": 2.0,
+                "oltp": 1.0,
+            },
+            jitter=0.2,
+        ),
+        ArrivalPhase(
+            start_fraction=0.5,
+            archetype_weights={
+                "latency-bound": 2.0,
+                "bandwidth-bound": 1.0,
+                "analytics": 1.0,
+            },
+            template_scale={
+                "working_set_mb": 4.0,
+                "membw_per_vcpu": 2.0,
+                "comm_bytes_per_vcpu": 3.0,
+            },
+            jitter=0.45,
+        ),
+    ]
+
+
+def _phase_profiles(
+    n_requests: int, phases: Sequence[ArrivalPhase], seed: int
+) -> List[WorkloadProfile]:
+    """One workload profile per request position, following the schedule.
+
+    Each phase gets its own deterministically derived generator, so
+    inserting or tuning a later phase never perturbs an earlier phase's
+    draws.  Positions before the first phase's start keep the base
+    stream's profiles (signalled here as None-free by construction:
+    callers only replace positions this function covers).
+    """
+    ordered = sorted(phases, key=lambda p: p.start_fraction)
+    starts = [int(p.start_fraction * n_requests) for p in ordered]
+    profiles: List[WorkloadProfile | None] = [None] * n_requests
+    for index, phase in enumerate(ordered):
+        begin = starts[index]
+        end = starts[index + 1] if index + 1 < len(ordered) else n_requests
+        # Namespaced: phase profiles must never collide by name with each
+        # other or with a training corpus (dedup-by-name downstream).
+        generator = WorkloadGenerator(
+            seed=seed + 7919 * (index + 1),
+            jitter=phase.jitter,
+            namespace=f"phase{index + 1}",
+        )
+        for position in range(begin, end):
+            profiles[position] = generator.sample_one(
+                weights=phase.archetype_weights,
+                template_scale=phase.template_scale,
+            )
+    return profiles
+
+
 def generate_churn_stream(
     n_requests: int,
     *,
@@ -144,6 +245,7 @@ def generate_churn_stream(
     vcpus_choices: Sequence[int] = (8, 16),
     goal_choices: Sequence[float | None] = (None, 0.9, 1.0),
     jitter: float = 0.0,
+    phases: Sequence[ArrivalPhase] | None = None,
 ) -> List[PlacementRequest]:
     """A deterministic churn stream: timestamped arrivals with lifetimes.
 
@@ -158,6 +260,14 @@ def generate_churn_stream(
     ``immortal_fraction`` of requests get ``lifetime=None`` (they never
     depart — long-running services between which the churning batch jobs
     must fit).
+
+    ``phases`` applies a phase-shift schedule (see :class:`ArrivalPhase`):
+    the arrival-mix archetype distribution changes mid-stream, the drift
+    scenario the online model lifecycle exists for.  Only the workload
+    profiles change — request ids, vCPU sizes, goals, arrival times, and
+    lifetimes are drawn exactly as in the unphased stream, so a phased and
+    an unphased run are comparable event for event (and ``phases=None``
+    is bit-for-bit today's stream).
     """
     if n_requests < 1:
         raise ValueError("n_requests must be >= 1")
@@ -177,6 +287,14 @@ def generate_churn_stream(
         goal_choices=goal_choices,
         jitter=jitter,
     )
+    if phases:
+        profiles = _phase_profiles(n_requests, phases, seed)
+        base = [
+            request
+            if profile is None
+            else replace(request, profile=profile)
+            for request, profile in zip(base, profiles)
+        ]
     rng = np.random.default_rng(seed + 1)
     clock = 0.0
     requests: List[PlacementRequest] = []

@@ -33,6 +33,7 @@ from repro.scheduler.requests import PlacementRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.scheduler.lifecycle import ChurnStats
+    from repro.serving.online import OnlineStats
 
 
 @dataclass
@@ -113,6 +114,9 @@ class FleetReport:
     #: Lifecycle statistics (departures, migrations, fragmentation
     #: timeline) — only set by the event-driven LifecycleScheduler.
     churn: "ChurnStats | None" = None
+    #: Serving-loop statistics (observations, drift, retrains,
+    #: promotions) — only set when an OnlineLearner was attached.
+    online: "OnlineStats | None" = None
 
     # ------------------------------------------------------------------
 
@@ -127,6 +131,7 @@ class FleetReport:
         decisions: List[GradedDecision],
         elapsed_seconds: float,
         churn: "ChurnStats | None" = None,
+        online: "OnlineStats | None" = None,
     ) -> "FleetReport":
         """Assemble a report from end-of-run state — the single place the
         fleet/registry/policy counters are folded in, shared by the
@@ -151,6 +156,7 @@ class FleetReport:
             blockscore_cache_info=DEFAULT_BLOCK_SCORE_CACHE.info(),
             indexed=getattr(policy, "indexed", True),
             churn=churn,
+            online=online,
         )
 
     @property
@@ -172,6 +178,27 @@ class FleetReport:
     @property
     def violations(self) -> int:
         return sum(1 for g in self.decisions if g.violated)
+
+    @property
+    def admission_pct(self) -> float:
+        """Placed requests as a percentage of the stream.
+
+        0.0 when the stream was empty or nothing was admitted — every
+        percentage the report prints degrades to 0 instead of dividing by
+        zero (a drained or fully-rejecting fleet is a reportable state,
+        not a crash).
+        """
+        if self.n_requests == 0:
+            return 0.0
+        return 100.0 * self.placed / self.n_requests
+
+    @property
+    def violation_pct(self) -> float:
+        """Goal violations as a percentage of goal-bearing requests;
+        0.0 when no goal-bearing request was admitted."""
+        if self.goal_bearing == 0:
+            return 0.0
+        return 100.0 * self.violations / self.goal_bearing
 
     @property
     def requests_per_second(self) -> float:
@@ -202,7 +229,8 @@ class FleetReport:
         lines = [
             f"fleet report: {self.n_requests} requests over "
             f"{self.n_hosts} hosts (policy={self.policy})",
-            f"  placed {self.placed}, rejected {self.rejected}"
+            f"  placed {self.placed} ({self.admission_pct:.1f}% admitted), "
+            f"rejected {self.rejected}"
             + (
                 " ("
                 + ", ".join(
@@ -214,7 +242,8 @@ class FleetReport:
                 else ""
             ),
             f"  goal violations: {self.violations} of "
-            f"{self.goal_bearing} goal-bearing requests",
+            f"{self.goal_bearing} goal-bearing requests "
+            f"({self.violation_pct:.1f}%)",
             f"  utilization: threads {self.thread_utilization:.1%}, "
             f"nodes reserved {self.node_utilization:.1%}, "
             f"busiest host {self.busiest_host_utilization:.1%}",
@@ -254,6 +283,8 @@ class FleetReport:
             )
         if self.churn is not None:
             lines.append(self.churn.describe())
+        if self.online is not None:
+            lines.append(self.online.describe())
         lines.append(
             f"  elapsed {self.elapsed_seconds:.2f} s -> "
             f"{self.requests_per_second:.1f} requests/s"

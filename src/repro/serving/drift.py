@@ -1,0 +1,123 @@
+"""Drift detection: when does the live model stop describing the fleet?
+
+The serving loop's tripwire.  Every graded placement yields one absolute
+relative prediction error (see
+:class:`~repro.serving.traces.PlacementObservation`); the monitor keeps a
+rolling window of them per ``(machine shape, vcpus)`` partition and
+compares the window's MAPE against a threshold.  A workload-mix shift that
+the frozen model has never trained on shows up here as a climbing rolling
+MAPE — the signal the retrainer acts on.
+
+The monitor is deliberately model-free: it never looks at features or
+forests, only at realized errors, so it works unchanged for any model the
+server promotes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Tuple
+
+from repro.serving.traces import PlacementObservation
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Knobs of the rolling-MAPE drift detector."""
+
+    #: Observations per rolling window (per partition).
+    window: int = 48
+    #: Minimum observations before the window's MAPE is trusted at all —
+    #: a threshold crossed on three samples is noise, not drift.
+    min_observations: int = 24
+    #: Rolling MAPE (percent) above which the partition counts as drifted.
+    threshold_pct: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if not 1 <= self.min_observations <= self.window:
+            raise ValueError(
+                "min_observations must be in [1, window]"
+            )
+        if self.threshold_pct <= 0:
+            raise ValueError("threshold_pct must be positive")
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One threshold crossing — the record the report surfaces."""
+
+    time: float
+    fingerprint: Tuple
+    vcpus: int
+    rolling_mape_pct: float
+    observations: int
+    model_version: int
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:9.2f}s drift on {self.vcpus}-vCPU partition: "
+            f"rolling MAPE {self.rolling_mape_pct:.1f}% over "
+            f"{self.observations} obs (model v{self.model_version})"
+        )
+
+
+class DriftMonitor:
+    """Per-partition rolling MAPE over live prediction errors.
+
+    :meth:`observe` returns True exactly when the observation pushes its
+    partition's rolling MAPE over the threshold (with a full-enough
+    window) — the caller decides what to do about it (the online learner
+    triggers a retrain, subject to its own cooldown).
+    """
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        self._errors: Dict[Tuple, Deque[float]] = {}
+        self.events: List[DriftEvent] = []
+
+    def _window(self, key: Tuple) -> Deque[float]:
+        window = self._errors.get(key)
+        if window is None:
+            window = deque(maxlen=self.config.window)
+            self._errors[key] = window
+        return window
+
+    def observe(self, observation: PlacementObservation) -> bool:
+        """Fold one observation in; True when the partition is drifted."""
+        key = (observation.fingerprint, observation.vcpus)
+        window = self._window(key)
+        window.append(observation.error_fraction)
+        if len(window) < self.config.min_observations:
+            return False
+        mape = 100.0 * sum(window) / len(window)
+        if mape <= self.config.threshold_pct:
+            return False
+        self.events.append(
+            DriftEvent(
+                time=observation.time,
+                fingerprint=observation.fingerprint,
+                vcpus=observation.vcpus,
+                rolling_mape_pct=mape,
+                observations=len(window),
+                model_version=observation.model_version,
+            )
+        )
+        return True
+
+    def rolling_mape_pct(
+        self, fingerprint: Tuple, vcpus: int
+    ) -> float | None:
+        """The partition's current rolling MAPE in percent, or None while
+        the window holds fewer than ``min_observations`` errors."""
+        window = self._errors.get((fingerprint, int(vcpus)))
+        if window is None or len(window) < self.config.min_observations:
+            return None
+        return 100.0 * sum(window) / len(window)
+
+    def reset(self, fingerprint: Tuple, vcpus: int) -> None:
+        """Start the partition's window over — called on promotion, so the
+        rolling MAPE describes the model actually serving."""
+        self._errors.pop((fingerprint, int(vcpus)), None)

@@ -101,3 +101,56 @@ class TestFitting:
         mean = forest.predict(X)
         assert (mean <= per_tree.max(axis=0) + 1e-9).all()
         assert (mean >= per_tree.min(axis=0) - 1e-9).all()
+
+
+class TestGrowAndPrune:
+    """The warm-start primitives online retraining builds on."""
+
+    def test_grow_appends_without_touching_existing_trees(self):
+        X, y = friedman_like(n=80)
+        forest = RandomForestRegressor(n_estimators=5, random_state=0).fit(X, y)
+        originals = list(forest.trees_)
+        forest.grow(X, y, 3)
+        assert len(forest.trees_) == 8
+        assert forest.n_estimators == 8
+        assert forest.trees_[:5] == originals
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_grow_is_deterministic_in_history(self):
+        X, y = friedman_like(n=80)
+
+        def build():
+            forest = RandomForestRegressor(
+                n_estimators=4, random_state=7
+            ).fit(X, y)
+            forest.grow(X, y, 4)
+            return forest
+
+        a, b = build(), build()
+        np.testing.assert_array_equal(a.predict(X[:10]), b.predict(X[:10]))
+
+    def test_prune_drops_oldest_first(self):
+        X, y = friedman_like(n=80)
+        forest = RandomForestRegressor(n_estimators=6, random_state=0).fit(X, y)
+        newest = forest.trees_[2:]
+        forest.prune(4)
+        assert forest.trees_ == newest
+        assert forest.n_estimators == 4
+        # Pruning to a budget >= size is a no-op.
+        forest.prune(10)
+        assert len(forest.trees_) == 4
+
+    def test_validation(self):
+        X, y = friedman_like(n=40)
+        forest = RandomForestRegressor(n_estimators=3, random_state=0)
+        with pytest.raises(RuntimeError):
+            forest.grow(X, y, 1)
+        with pytest.raises(RuntimeError):
+            forest.prune(2)
+        forest.fit(X, y)
+        with pytest.raises(ValueError):
+            forest.grow(X, y, 0)
+        with pytest.raises(ValueError):
+            forest.prune(0)
+        with pytest.raises(ValueError):
+            forest.grow(X[:0], y[:0], 1)

@@ -288,6 +288,62 @@ class TestIndexedLinearEquivalence:
         assert "indexed (fleet buckets)" in report.describe()
 
 
+class TestModelServerEquivalence:
+    """With online learning off, a ModelServer is the registry: every
+    indexed decision must stay bit-for-bit identical to the frozen
+    pipeline's on the reference streams (the PR-3 equivalence contract,
+    extended across the serving refactor)."""
+
+    def test_one_shot_reference_stream(self):
+        from repro.serving import ModelServer
+
+        requests = generate_request_stream(
+            120, seed=3, vcpus_choices=(4, 8, 16, 10)
+        )
+
+        def run(registry):
+            return FleetScheduler(
+                _mixed_fleet(),
+                GoalAwareFleetPolicy(registry),
+                batch_size=32,
+            ).run(requests)
+
+        served = run(ModelServer(seed=5))
+        frozen = run(ModelRegistry(seed=5))
+        assert _decision_fingerprints(served) == _decision_fingerprints(
+            frozen
+        )
+
+    def test_churn_reference_stream(self):
+        from repro.serving import ModelServer
+
+        requests = generate_churn_stream(
+            100,
+            seed=11,
+            arrival_rate=1.0,
+            mean_lifetime=25.0,
+            heavy_tail=True,
+            vcpus_choices=(8, 8, 8, 32),
+        )
+
+        def run(registry):
+            return LifecycleScheduler(
+                Fleet.homogeneous(amd_opteron_6272(), 4),
+                GoalAwareFleetPolicy(registry),
+                config=RebalanceConfig(),
+            ).run(requests)
+
+        served = run(ModelServer(seed=5))
+        frozen = run(ModelRegistry(seed=5))
+        assert _decision_fingerprints(served) == _decision_fingerprints(
+            frozen
+        )
+        assert (
+            served.churn.fragmentation_timeline
+            == frozen.churn.fragmentation_timeline
+        )
+
+
 class TestGradingIpcMemo:
     """The grading denominator (and deterministic numerator) must be
     simulated once per distinct key, not once per placed container."""

@@ -1,0 +1,114 @@
+"""ModelRegistry memo statistics under migration-heavy churn.
+
+The rebalance path re-grades every migrated container through the
+registry's IPC memo (``LifecycleScheduler._regrade_migrated``); these
+tests pin the counters' contract there: every miss is exactly one
+simulator run, re-grades of known keys are hits, and the numbers the memo
+serves are the numbers an unmemoized registry computes.
+"""
+
+from repro.scheduler import (
+    Fleet,
+    LifecycleScheduler,
+    ModelRegistry,
+    RebalanceConfig,
+    SpreadFleetPolicy,
+    generate_churn_stream,
+)
+from repro.topology import amd_opteron_6272
+
+
+def _churn_requests():
+    # The reference churn stream that reliably triggers rebalancer
+    # migrations on a 4-host AMD fleet (same shape as the CLI churn test).
+    return generate_churn_stream(
+        100,
+        seed=11,
+        arrival_rate=1.0,
+        mean_lifetime=20.0,
+        heavy_tail=True,
+        vcpus_choices=(8, 8, 8, 32),
+    )
+
+
+def _run(registry):
+    return LifecycleScheduler(
+        Fleet.homogeneous(amd_opteron_6272(), 4),
+        SpreadFleetPolicy(),
+        registry=registry,
+        config=RebalanceConfig(),
+    ).run(_churn_requests())
+
+
+class TestMemoStatsUnderMigrationChurn:
+    def test_every_miss_is_one_simulator_run(self, monkeypatch):
+        registry = ModelRegistry(seed=0)
+        machine = amd_opteron_6272()
+        simulator = registry.simulator(machine)
+        calls = {"n": 0}
+        original = type(simulator).measured_ipc
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(type(simulator), "measured_ipc", counting)
+        report = _run(registry)
+
+        # The stream must actually exercise the rebalance/regrade path.
+        assert report.churn.n_migrations > 0
+        info = registry.ipc_cache_info()
+        assert calls["n"] == info.misses
+        # Every miss inserts exactly one solo-IPC entry.
+        assert info.currsize == info.misses
+        # Migration re-grades hit keys the original grading populated.
+        assert info.hits > 0
+        assert report.ipc_cache_info == info
+
+    def test_regrade_hits_instead_of_resimulating(self, monkeypatch):
+        """Re-grading a migrated container whose (profile, placement
+        score) was already graded must be pure cache hits."""
+        registry = ModelRegistry(seed=0)
+        report = _run(registry)
+        assert report.churn.n_migrations > 0
+        hits_before = registry.ipc_cache_info().hits
+
+        # Re-grade every placed decision once more: all keys are known.
+        # (A fresh same-shape fleet suffices — grading only reads the
+        # host's machine, and fingerprint-equal machines are
+        # interchangeable for the memo.)
+        from repro.scheduler.scheduler import grade_decision
+
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 4)
+        regraded = 0
+        for graded in report.decisions:
+            if not graded.decision.placed:
+                continue
+            fresh = grade_decision(graded.decision, fleet, registry)
+            assert fresh.achieved_relative == graded.achieved_relative
+            regraded += 1
+        assert regraded > 0
+        info = registry.ipc_cache_info()
+        assert info.hits > hits_before
+        # No new simulator work for known keys.
+        assert info.misses == report.ipc_cache_info.misses
+
+    def test_memoized_stats_match_unmemoized_grades(self):
+        memoized = ModelRegistry(seed=0)
+        unmemoized = ModelRegistry(seed=0, memoize_ipc=False)
+        with_memo = _run(memoized)
+        without = _run(unmemoized)
+        assert [
+            (g.decision.request.request_id, g.achieved_relative, g.violated)
+            for g in with_memo.decisions
+        ] == [
+            (g.decision.request.request_id, g.achieved_relative, g.violated)
+            for g in without.decisions
+        ]
+        # The unmemoized registry records misses only (every call ran the
+        # simulator); the memoized one must have strictly fewer runs.
+        assert unmemoized.ipc_cache_info().hits == 0
+        assert (
+            memoized.ipc_cache_info().misses
+            < unmemoized.ipc_cache_info().misses
+        )

@@ -90,6 +90,43 @@ class TestFleetScheduler:
         with pytest.raises(ValueError):
             _ml_scheduler(2, registry, batch_size=0)
 
+    def test_zero_admitted_report_percentages_are_zero(self, registry):
+        """Regression: a report where nothing was admitted must describe
+        itself (percentages print 0) instead of dividing by zero."""
+        # 7 vCPUs cannot be balanced on the AMD shape -> all infeasible,
+        # and best-effort goals keep goal_bearing at 0 too.
+        requests = generate_request_stream(
+            5, seed=1, vcpus_choices=(7,), goal_choices=(None,)
+        )
+        report = _ml_scheduler(2, registry, batch_size=4).run(requests)
+        assert report.placed == 0
+        assert report.goal_bearing == 0
+        assert report.admission_pct == 0.0
+        assert report.violation_pct == 0.0
+        text = report.describe()
+        assert "placed 0 (0.0% admitted)" in text
+        assert "(0.0%)" in text
+
+    def test_empty_stream_report(self, registry):
+        """The API path can hand the scheduler an empty stream; every
+        report aggregate must degrade to zero, not raise."""
+        report = _ml_scheduler(2, registry).run([])
+        assert report.n_requests == 0
+        assert report.admission_pct == 0.0
+        assert report.violation_pct == 0.0
+        assert report.decision_latency_ms() == (0.0, 0.0)
+        assert "placed 0" in report.describe()
+
+    def test_admission_and_violation_percentages(self, registry):
+        requests = generate_request_stream(20, seed=1, vcpus_choices=(16,))
+        report = _ml_scheduler(6, registry, batch_size=8).run(requests)
+        assert report.admission_pct == pytest.approx(
+            100.0 * report.placed / report.n_requests
+        )
+        assert report.violation_pct == pytest.approx(
+            100.0 * report.violations / report.goal_bearing
+        )
+
     def test_memoized_runs_once_per_key(self):
         registry = ModelRegistry(n_estimators=6, n_synthetic=2, seed=0)
         requests = generate_request_stream(12, seed=6, vcpus_choices=(8, 16))

@@ -1,0 +1,80 @@
+"""Tests for the rolling-MAPE drift monitor."""
+
+import pytest
+
+from repro.perfsim.library import paper_workloads
+from repro.serving import DriftConfig, DriftMonitor, PlacementObservation
+
+
+def _observation(request_id, error_fraction, *, vcpus=8, time=None):
+    achieved = 1.0
+    return PlacementObservation(
+        time=float(request_id) if time is None else time,
+        request_id=request_id,
+        fingerprint=("shape",),
+        vcpus=vcpus,
+        profile=paper_workloads()[0],
+        placement_id=1,
+        probe_i=1.0,
+        probe_j=1.0,
+        predicted_relative=achieved * (1.0 + error_fraction),
+        achieved_relative=achieved,
+        model_version=1,
+    )
+
+
+class TestDriftConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftConfig(window=1)
+        with pytest.raises(ValueError):
+            DriftConfig(window=10, min_observations=11)
+        with pytest.raises(ValueError):
+            DriftConfig(threshold_pct=0)
+
+
+class TestDriftMonitor:
+    def test_silent_below_min_observations(self):
+        monitor = DriftMonitor(DriftConfig(window=8, min_observations=4, threshold_pct=5.0))
+        for request_id in range(3):
+            assert monitor.observe(_observation(request_id, 0.5)) is False
+        assert monitor.rolling_mape_pct(("shape",), 8) is None
+
+    def test_fires_when_window_mape_crosses_threshold(self):
+        monitor = DriftMonitor(DriftConfig(window=8, min_observations=4, threshold_pct=10.0))
+        fired = [
+            monitor.observe(_observation(request_id, 0.2))
+            for request_id in range(4)
+        ]
+        assert fired == [False, False, False, True]
+        assert monitor.rolling_mape_pct(("shape",), 8) == pytest.approx(20.0)
+        assert len(monitor.events) == 1
+        event = monitor.events[0]
+        assert event.rolling_mape_pct == pytest.approx(20.0)
+        assert "drift" in event.describe()
+
+    def test_quiet_model_never_fires(self):
+        monitor = DriftMonitor(DriftConfig(window=8, min_observations=4, threshold_pct=10.0))
+        assert not any(
+            monitor.observe(_observation(request_id, 0.05))
+            for request_id in range(20)
+        )
+
+    def test_window_forgets_old_errors(self):
+        monitor = DriftMonitor(DriftConfig(window=4, min_observations=4, threshold_pct=10.0))
+        for request_id in range(4):
+            monitor.observe(_observation(request_id, 0.5))
+        for request_id in range(4, 8):
+            monitor.observe(_observation(request_id, 0.01))
+        assert monitor.rolling_mape_pct(("shape",), 8) == pytest.approx(1.0)
+
+    def test_partitions_are_independent_and_resettable(self):
+        monitor = DriftMonitor(DriftConfig(window=4, min_observations=2, threshold_pct=10.0))
+        for request_id in range(2):
+            monitor.observe(_observation(request_id, 0.5, vcpus=8))
+            monitor.observe(_observation(request_id, 0.01, vcpus=16))
+        assert monitor.rolling_mape_pct(("shape",), 8) == pytest.approx(50.0)
+        assert monitor.rolling_mape_pct(("shape",), 16) == pytest.approx(1.0)
+        monitor.reset(("shape",), 8)
+        assert monitor.rolling_mape_pct(("shape",), 8) is None
+        assert monitor.rolling_mape_pct(("shape",), 16) == pytest.approx(1.0)

@@ -1,0 +1,226 @@
+"""Tests for warm-start corpus growth and grow-and-prune retraining."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import build_training_set, extend_training_set
+from repro.perfsim.generator import WorkloadGenerator
+from repro.perfsim.library import paper_workloads
+from repro.perfsim.simulator import PerformanceSimulator
+from repro.scheduler.requests import generate_churn_stream
+from repro.serving import ModelServer, RetrainConfig, Retrainer
+from repro.serving.traces import PlacementObservation
+from repro.topology import amd_opteron_6272
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return amd_opteron_6272()
+
+
+@pytest.fixture(scope="module")
+def base_set(machine):
+    return build_training_set(
+        machine,
+        8,
+        paper_workloads()[:6],
+        simulator=PerformanceSimulator(machine, seed=0),
+    )
+
+
+class TestExtendTrainingSet:
+    def test_appends_only_new_rows(self, machine, base_set):
+        fresh = WorkloadGenerator(seed=9).sample(3)
+        extended = extend_training_set(
+            base_set, fresh, simulator=PerformanceSimulator(machine, seed=0)
+        )
+        assert len(extended) == len(base_set) + 3
+        assert extended.names[: len(base_set)] == base_set.names
+        assert extended.names[len(base_set) :] == [w.name for w in fresh]
+        # Old rows are carried over verbatim, not re-simulated.
+        np.testing.assert_array_equal(
+            extended.ipc[: len(base_set)], base_set.ipc
+        )
+        np.testing.assert_array_equal(
+            extended.hpe_features[: len(base_set)], base_set.hpe_features
+        )
+        # Vectors stay normalized to the same baseline column.
+        assert extended.baseline_index == base_set.baseline_index
+        np.testing.assert_allclose(
+            extended.vectors[:, base_set.baseline_index], 1.0
+        )
+
+    def test_known_names_are_skipped(self, machine, base_set):
+        extended = extend_training_set(
+            base_set,
+            paper_workloads()[:6],
+            simulator=PerformanceSimulator(machine, seed=0),
+        )
+        assert extended is base_set
+
+    def test_new_rows_match_full_rebuild(self, machine, base_set):
+        """An extended set equals building the union from scratch: the
+        warm start is an optimization, not a different corpus."""
+        fresh = WorkloadGenerator(seed=9).sample(2)
+        extended = extend_training_set(
+            base_set, fresh, simulator=PerformanceSimulator(machine, seed=0)
+        )
+        rebuilt = build_training_set(
+            machine,
+            8,
+            paper_workloads()[:6] + fresh,
+            simulator=PerformanceSimulator(machine, seed=0),
+        )
+        np.testing.assert_array_equal(extended.ipc, rebuilt.ipc)
+        np.testing.assert_array_equal(
+            extended.hpe_features, rebuilt.hpe_features
+        )
+
+
+class TestWarmRefit:
+    def test_grow_and_prune_budget(self, base_set):
+        from repro.core.model import PlacementModel
+
+        incumbent = PlacementModel(
+            input_pair=(0, 1), n_estimators=10, random_state=0
+        ).fit(base_set)
+        candidate = incumbent.warm_refit(base_set, n_grow=6, tree_budget=12)
+        assert len(candidate._forest.trees_) == 12
+        assert len(incumbent._forest.trees_) == 10  # untouched
+        # The newest trees survive pruning: the candidate's last 6 trees
+        # are the grown ones, its first 6 the incumbent's newest.
+        assert candidate._forest.trees_[:6] == incumbent._forest.trees_[4:]
+        assert candidate.input_pair == incumbent.input_pair
+
+    def test_warm_refit_deterministic(self, base_set):
+        from repro.core.model import PlacementModel
+
+        def build():
+            incumbent = PlacementModel(
+                input_pair=(0, 1), n_estimators=8, random_state=3
+            ).fit(base_set)
+            return incumbent.warm_refit(base_set, n_grow=4)
+
+        a, b = build(), build()
+        x = np.array([0.9]), np.array([1.2])
+        np.testing.assert_array_equal(
+            a.predict_batch(*x), b.predict_batch(*x)
+        )
+
+    def test_refuses_unfitted_or_mismatched(self, machine, base_set):
+        from repro.core.model import PlacementModel
+
+        with pytest.raises(RuntimeError):
+            PlacementModel(input_pair=(0, 1)).warm_refit(base_set)
+        fitted = PlacementModel(
+            input_pair=(0, 1), n_estimators=4, random_state=0
+        ).fit(base_set)
+        other = build_training_set(
+            machine,
+            16,
+            paper_workloads()[:4],
+            simulator=PerformanceSimulator(machine, seed=0),
+        )
+        with pytest.raises(ValueError, match="placements"):
+            fitted.warm_refit(other)
+
+
+def _trace(machine, profile, request_id):
+    return PlacementObservation(
+        time=float(request_id),
+        request_id=request_id,
+        fingerprint=machine.fingerprint(),
+        vcpus=8,
+        profile=profile,
+        placement_id=1,
+        probe_i=1.0,
+        probe_j=1.0,
+        predicted_relative=1.0,
+        achieved_relative=1.0,
+        model_version=1,
+    )
+
+
+class TestRetrainer:
+    def test_builds_candidate_from_unseen_workloads(self, machine):
+        server = ModelServer(seed=0)
+        retrainer = Retrainer(
+            server, RetrainConfig(max_new_workloads=4, n_grow=4)
+        )
+        base_rows = len(server.training_set(machine, 8))
+        profiles = WorkloadGenerator(seed=77, namespace="live").sample(6)
+        traces = [
+            _trace(machine, profile, k) for k, profile in enumerate(profiles)
+        ]
+        candidate = retrainer.retrain(machine, 8, traces, time=10.0)
+        assert candidate is not None
+        # Newest-first selection, capped by max_new_workloads.
+        assert candidate.n_new_workloads == 4
+        assert candidate.n_training_rows == base_rows + 4
+        assert retrainer.simulated_rows == 4
+        appended = server.training_set(machine, 8).names[-4:]
+        assert appended == [w.name for w in profiles[2:]]
+
+    def test_returns_none_when_nothing_new(self, machine):
+        server = ModelServer(seed=0)
+        retrainer = Retrainer(server, RetrainConfig(n_grow=2))
+        traces = [
+            _trace(machine, profile, k)
+            for k, profile in enumerate(paper_workloads()[:5])
+        ]
+        # Every paper workload is already in the offline corpus.
+        assert retrainer.retrain(machine, 8, traces, time=1.0) is None
+
+
+class TestPhaseShiftStreams:
+    def test_phases_change_only_profiles(self):
+        from repro.scheduler.requests import ArrivalPhase
+
+        plain = generate_churn_stream(40, seed=5)
+        phased = generate_churn_stream(
+            40,
+            seed=5,
+            phases=[
+                ArrivalPhase(0.0, archetype_weights={"cpu-bound": 1.0}),
+                ArrivalPhase(
+                    0.5,
+                    archetype_weights={"latency-bound": 1.0},
+                    template_scale={"working_set_mb": 4.0},
+                ),
+            ],
+        )
+        for before, after in zip(plain, phased):
+            assert before.request_id == after.request_id
+            assert before.vcpus == after.vcpus
+            assert before.goal_fraction == after.goal_fraction
+            assert before.arrival_time == after.arrival_time
+            assert before.lifetime == after.lifetime
+        names = [r.profile.name for r in phased]
+        assert all("cpu-bound" in n for n in names[:20])
+        assert all("latency-bound" in n for n in names[20:])
+
+    def test_empty_phases_is_todays_stream(self):
+        assert generate_churn_stream(20, seed=3, phases=None) == (
+            generate_churn_stream(20, seed=3)
+        )
+        assert generate_churn_stream(20, seed=3, phases=[]) == (
+            generate_churn_stream(20, seed=3)
+        )
+
+    def test_phase_validation(self):
+        from repro.scheduler.requests import ArrivalPhase
+
+        with pytest.raises(ValueError):
+            ArrivalPhase(1.0)
+        with pytest.raises(ValueError):
+            ArrivalPhase(0.0, jitter=-1)
+
+    def test_drift_schedule_shifts_mid_stream(self):
+        from repro.scheduler.requests import drift_phase_schedule
+
+        stream = generate_churn_stream(
+            60, seed=2, phases=drift_phase_schedule()
+        )
+        early = {r.profile.name.rsplit("-", 1)[0] for r in stream[:30]}
+        late = {r.profile.name.rsplit("-", 1)[0] for r in stream[30:]}
+        assert early.isdisjoint(late)
