@@ -13,8 +13,11 @@ every mode including the CI smoke run:
   from-scratch recomputation;
 * (full mode only) the indexed path is faster at the largest fleet.
 
-The goal-aware policy's equivalence on churn streams is covered by
-``tests/scheduler/test_index.py``; its throughput by
+A second test times the goal-aware ML policy end-to-end on the same
+mixed 1000-host fleet (one fused arena forest call per 64-request batch)
+— the number the arena inference engine moves.  The goal-aware policy's
+equivalence on churn streams is covered by
+``tests/scheduler/test_index.py``; its scaling across fleet sizes by
 ``bench_fleet_scheduler.py``.  Results go to ``BENCH_fleet.json``.
 """
 
@@ -28,6 +31,8 @@ from conftest import record_bench
 from repro.scheduler import (
     Fleet,
     FirstFitFleetPolicy,
+    GoalAwareFleetPolicy,
+    ModelRegistry,
     SpreadFleetPolicy,
     generate_request_stream,
 )
@@ -159,3 +164,71 @@ def test_indexed_scan_equivalent_and_fast(report):
                 f"{name}: indexed scan must beat the linear scan at "
                 f"{N_HOSTS} hosts"
             )
+
+
+def test_goal_aware_end_to_end_throughput(report):
+    """The model-driven policy on the same mixed fleet: the end-to-end
+    number the arena-fused prediction hot path moves.
+
+    Decisions in 64-request batches (the scheduler's default), model
+    fitting and arena compilation excluded from the timed region.  The
+    per-batch cost is one fused forest call + the indexed host scan; the
+    throughput lands in ``BENCH_fleet.json`` next to the heuristic
+    policies so the prediction overhead stays visible across PRs.
+    """
+    registry = ModelRegistry(n_estimators=40, n_synthetic=32, seed=SEED)
+    shapes = (amd_opteron_6272(), intel_xeon_e7_4830_v3())
+    for machine in shapes:
+        for vcpus in (4, 8, 16):
+            # Prefit and warm each compiled arena outside the timed region.
+            registry.model(machine, vcpus).predict_batch([1.0], [1.0])
+    requests = generate_request_stream(
+        N_REQUESTS, seed=SEED, vcpus_choices=(4, 8, 16)
+    )
+    # Warm the *fused* arena for this plan combination too (it is built
+    # lazily on the first decide_batch and cached process-wide): one
+    # decision round on a throwaway fleet, so the timed repeats measure
+    # steady-state prediction, not one-time array concatenation.
+    GoalAwareFleetPolicy(registry).decide_batch(requests[:4], _fleet())
+    batches = [
+        requests[begin : begin + 64] for begin in range(0, len(requests), 64)
+    ]
+
+    best_rps = 0.0
+    reference = None
+    for _ in range(3):
+        fleet = _fleet()
+        policy = GoalAwareFleetPolicy(registry)
+        start = time.perf_counter()
+        decisions = []
+        for batch in batches:
+            decisions.extend(policy.decide_batch(batch, fleet))
+        elapsed = time.perf_counter() - start
+        best_rps = max(best_rps, N_REQUESTS / elapsed)
+        if reference is None:
+            reference = _fingerprints(decisions)
+        else:
+            assert _fingerprints(decisions) == reference, (
+                "goal-aware decisions diverged across timing repeats"
+            )
+
+    lines = [
+        f"goal-aware ML policy, mixed AMD/Intel fleet ({N_HOSTS} hosts, "
+        f"{N_REQUESTS} requests, batches of 64, seed {SEED}"
+        f"{', SMOKE' if SMOKE else ''}):",
+        "",
+        f"  fused-arena prediction hot path: {best_rps:.1f} req/s "
+        f"(best of 3)",
+    ]
+    report("fleet_index_ml", "\n".join(lines))
+
+    record_bench(
+        "fleet_index_ml",
+        {
+            "scenario": "goal-aware ML policy, mixed AMD/Intel fleet, "
+            f"batches of 64, seed {SEED}",
+            "hosts": N_HOSTS,
+            "requests": N_REQUESTS,
+            "ml_rps": round(best_rps, 1),
+        },
+    )

@@ -1,0 +1,148 @@
+"""Forest-inference benchmark: arena-compiled vs per-tree prediction.
+
+The goal-aware scheduler consults its forest per fleet event on a handful
+of rows; at the paper's 100-tree ensemble size the per-tree path pays
+~100 small numpy descents of fixed dispatch overhead per call, which is
+the dominant serving cost after PR 3/PR 4.  This benchmark times both
+paths in the two regimes that matter:
+
+* **small batch** (1-32 rows — one scheduling event's worth), where the
+  arena's single fused descent amortizes all dispatch overhead and must
+  clear a **5x** floor (asserted in full mode);
+* **large batch** (training-set-scale row counts, timed at the
+  ``ARENA_MAX_ROWS`` cutover boundary — the largest batch the arena still
+  serves), where both paths are memory-bound and the arena must simply
+  not lose; past the cutover ``predict()`` routes to the per-tree path,
+  which wins that regime.
+
+The equivalence gate runs in *every* mode, smoke included: arena and
+per-tree predictions must be bit-for-bit identical on every timed input,
+or the build fails.  Results go to ``BENCH_predict.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import BENCH_PREDICT_JSON
+from conftest import BENCH_SMOKE as SMOKE
+from conftest import record_bench
+
+from repro.ml import RandomForestRegressor
+
+N_TREES = 100
+N_OUTPUTS = 9  # a performance vector's width on the paper's AMD shape
+TRAIN_ROWS = 120 if SMOKE else 400
+SMALL_BATCHES = (1, 8, 32)
+LARGE_BATCH = 1024 if SMOKE else 4096  # == ARENA_MAX_ROWS in full mode
+SEED = 21
+#: Acceptance floor: arena speedup over per-tree in the small-batch regime.
+SMALL_BATCH_FLOOR = 5.0
+
+
+def _fitted_forest():
+    rng = np.random.default_rng(SEED)
+    X = rng.uniform(-1.0, 1.0, size=(TRAIN_ROWS, 3))
+    weights = rng.normal(size=(3, N_OUTPUTS))
+    Y = np.tanh(X @ weights) + rng.normal(
+        scale=0.05, size=(TRAIN_ROWS, N_OUTPUTS)
+    )
+    return RandomForestRegressor(
+        n_estimators=N_TREES, random_state=SEED
+    ).fit(X, Y)
+
+
+def _time_calls(fn, X, *, min_calls, min_seconds=0.15):
+    """Calls/second, best-of-3 repeats of a calibrated timing loop."""
+    best = 0.0
+    for _ in range(3):
+        calls = 0
+        start = time.perf_counter()
+        while True:
+            fn(X)
+            calls += 1
+            elapsed = time.perf_counter() - start
+            if calls >= min_calls and elapsed >= min_seconds:
+                break
+        best = max(best, calls / elapsed)
+    return best
+
+
+def test_arena_inference_equivalent_and_fast(report):
+    forest = _fitted_forest()
+    rng = np.random.default_rng(SEED + 1)
+    # Warm both lazy compilations outside the timed region.
+    warm = rng.uniform(-1.0, 1.0, size=(4, 3))
+    forest.predict(warm)
+    forest.predict_per_tree(warm)
+
+    lines = [
+        f"forest inference, {N_TREES} trees x {N_OUTPUTS} outputs "
+        f"(train rows {TRAIN_ROWS}, seed {SEED}{', SMOKE' if SMOKE else ''}):",
+        "",
+        f"{'rows':>6} {'per-tree calls/s':>17} {'arena calls/s':>14} "
+        f"{'speedup':>8}",
+    ]
+    results = {}
+    small_speedups = []
+    for rows in (*SMALL_BATCHES, LARGE_BATCH):
+        X = rng.uniform(-1.5, 1.5, size=(rows, 3))
+
+        # The hard gate, every mode: identical bits, mean and std.
+        assert np.array_equal(forest.predict(X), forest.predict_per_tree(X)), (
+            f"arena diverged from the per-tree path at {rows} rows"
+        )
+        assert np.array_equal(
+            forest.predict_std(X), forest.predict_std_per_tree(X)
+        ), f"arena predict_std diverged at {rows} rows"
+
+        min_calls = 3 if rows == LARGE_BATCH else 20
+        pertree_cps = _time_calls(
+            forest.predict_per_tree, X, min_calls=min_calls
+        )
+        arena_cps = _time_calls(forest.predict, X, min_calls=min_calls)
+        speedup = arena_cps / pertree_cps
+        if rows <= 32:
+            small_speedups.append(speedup)
+        results[str(rows)] = {
+            "pertree_calls_per_second": round(pertree_cps, 1),
+            "arena_calls_per_second": round(arena_cps, 1),
+            "speedup": round(speedup, 2),
+        }
+        lines.append(
+            f"{rows:>6} {pertree_cps:>17.1f} {arena_cps:>14.1f} "
+            f"{speedup:>7.1f}x"
+        )
+
+    lines += [
+        "",
+        "equivalence gate: arena == per-tree bit-for-bit on every timed "
+        "input, predict and predict_std (asserted)",
+        f"small-batch regime (<=32 rows): min speedup "
+        f"{min(small_speedups):.1f}x (acceptance floor "
+        f"{SMALL_BATCH_FLOOR:.0f}x, full mode)",
+    ]
+    report("predict_arena", "\n".join(lines))
+
+    record_bench(
+        "predict",
+        {
+            "scenario": f"{N_TREES}-tree x {N_OUTPUTS}-output forest, "
+            f"seed {SEED}",
+            "trees": N_TREES,
+            "outputs": N_OUTPUTS,
+            "by_batch_rows": results,
+            "small_batch_min_speedup": round(min(small_speedups), 2),
+            "equivalent": True,
+        },
+        path=BENCH_PREDICT_JSON,
+    )
+    if not SMOKE:
+        assert min(small_speedups) >= SMALL_BATCH_FLOOR, (
+            f"arena must clear {SMALL_BATCH_FLOOR}x over per-tree in the "
+            f"small-batch regime, got {min(small_speedups):.1f}x"
+        )
+        assert results[str(LARGE_BATCH)]["speedup"] >= 0.9, (
+            "arena must not lose the large-batch regime"
+        )

@@ -50,6 +50,12 @@ BENCH_ONLINE_JSON = os.path.abspath(
     os.path.join(os.path.dirname(__file__), "..", "BENCH_online.json")
 )
 
+#: Forest-inference trajectory (arena vs per-tree throughput), committed
+#: and gated by CI like the fleet numbers.
+BENCH_PREDICT_JSON = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_predict.json")
+)
+
 
 def _current_commit() -> str:
     try:

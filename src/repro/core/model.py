@@ -277,6 +277,30 @@ class PlacementModel:
             raise RuntimeError("model is not fitted")
         return self.input_pair[0]
 
+    @property
+    def forest(self) -> RandomForestRegressor:
+        """The fitted forest — the fused arena path
+        (:func:`repro.ml.arena.predict_fused`) evaluates many models'
+        forests in one call and needs direct access."""
+        if self._forest is None:
+            raise RuntimeError("model is not fitted")
+        return self._forest
+
+    def batch_features(
+        self, perf_i: np.ndarray, perf_j: np.ndarray
+    ) -> np.ndarray:
+        """The forest's feature matrix for aligned observation arrays —
+        exactly what :meth:`predict_batch` feeds its forest, exposed so a
+        fused multi-model call can assemble per-group features first."""
+        perf_i = np.atleast_1d(np.asarray(perf_i, dtype=float))
+        perf_j = np.atleast_1d(np.asarray(perf_j, dtype=float))
+        if perf_i.shape != perf_j.shape or perf_i.ndim != 1:
+            raise ValueError(
+                f"perf_i and perf_j must be equal-length 1-d arrays, got "
+                f"shapes {perf_i.shape} and {perf_j.shape}"
+            )
+        return _pair_features(perf_i, perf_j)
+
     def predict(self, perf_i: float, perf_j: float) -> np.ndarray:
         """Predicted relative-performance vector from two observations.
 
@@ -301,14 +325,7 @@ class PlacementModel:
         """
         if self._forest is None:
             raise RuntimeError("predict_batch() called before fit()")
-        perf_i = np.atleast_1d(np.asarray(perf_i, dtype=float))
-        perf_j = np.atleast_1d(np.asarray(perf_j, dtype=float))
-        if perf_i.shape != perf_j.shape or perf_i.ndim != 1:
-            raise ValueError(
-                f"perf_i and perf_j must be equal-length 1-d arrays, got "
-                f"shapes {perf_i.shape} and {perf_j.shape}"
-            )
-        return self._forest.predict(_pair_features(perf_i, perf_j))
+        return self._forest.predict(self.batch_features(perf_i, perf_j))
 
     def predict_many(
         self, perf_i: np.ndarray, perf_j: np.ndarray

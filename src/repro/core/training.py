@@ -159,13 +159,13 @@ def build_training_set(
         placements = enumerate_important_placements(machine, vcpus)
     monitor = HpeMonitor(simulator)
 
-    n, k = len(workloads), len(placements)
-    ipc = np.zeros((n, k))
-    for row, profile in enumerate(workloads):
-        for col, placement in enumerate(placements):
-            ipc[row, col] = simulator.measured_ipc(
-                profile, placement, noise=noise, repetition=repetition
-            )
+    # The whole (workload x placement) IPC matrix in one vectorized
+    # simulator pass — bit-for-bit what the per-cell measured_ipc loop
+    # produced, so models trained before and after the batched kernels
+    # are identical.
+    ipc = simulator.measured_ipc_batch(
+        list(workloads), list(placements), noise=noise, repetition=repetition
+    )
     vectors = ipc / ipc[:, baseline_index : baseline_index + 1]
 
     baseline_placement = placements[baseline_index]
@@ -216,13 +216,13 @@ def extend_training_set(
     placements = base.placements
     monitor = HpeMonitor(simulator)
 
-    ipc_rows = np.zeros((len(fresh), len(placements)))
+    # Only the fresh rows are simulated, and all of them in one batched
+    # kernel call — the per-retrain cost every serving-loop round pays.
+    ipc_rows = simulator.measured_ipc_batch(
+        fresh, list(placements), noise=noise, repetition=repetition
+    )
     hpe_rows = []
-    for row, profile in enumerate(fresh):
-        for col, placement in enumerate(placements):
-            ipc_rows[row, col] = simulator.measured_ipc(
-                profile, placement, noise=noise, repetition=repetition
-            )
+    for profile in fresh:
         values = monitor.measure(
             profile, placements[base.baseline_index], repetition=repetition
         )

@@ -8,6 +8,8 @@ algorithms on plain numpy:
 
 * :mod:`repro.ml.tree` — multi-output CART regression trees;
 * :mod:`repro.ml.forest` — bagged random forests over those trees;
+* :mod:`repro.ml.arena` — arena-compiled forest inference: whole-forest
+  (and fused multi-forest) prediction as one lock-step numpy descent;
 * :mod:`repro.ml.kmeans` — k-means++ with Lloyd iterations and the
   silhouette coefficient;
 * :mod:`repro.ml.selection` — sequential forward feature selection;
@@ -17,6 +19,7 @@ algorithms on plain numpy:
 Everything is deterministic given a ``random_state``.
 """
 
+from repro.ml.arena import ARENA_STATS, ForestArena, predict_fused
 from repro.ml.tree import DecisionTreeRegressor
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.kmeans import KMeans, silhouette_score, choose_k_by_silhouette
@@ -32,6 +35,9 @@ from repro.ml.metrics import (
 )
 
 __all__ = [
+    "ARENA_STATS",
+    "ForestArena",
+    "predict_fused",
     "DecisionTreeRegressor",
     "RandomForestRegressor",
     "KMeans",

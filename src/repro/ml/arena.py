@@ -1,0 +1,273 @@
+"""Arena-compiled forest inference: one numpy pass per prediction.
+
+The per-tree prediction path is already vectorized *within* a tree (all
+rows descend the flattened node arrays in lock-step), but a forest call
+still runs a Python loop of ``n_estimators`` separate descents — at fleet
+scale, where the model is consulted per scheduling event on a handful of
+rows, the fixed numpy dispatch overhead of ~100 small passes dominates the
+arithmetic.  The arena removes the loop:
+
+* :class:`ForestArena` stacks every tree's flattened ``(feature,
+  threshold, left, right, values)`` arrays into one contiguous arena with
+  per-tree root offsets (child indices are rebased to the arena, so the
+  descent needs no per-tree bookkeeping);
+* prediction evaluates all ``rows x trees`` *lanes* in one lock-step
+  descent — one numpy pass per tree level for the whole forest — then
+  gathers the leaf-value matrix and reduces over the tree axis;
+* :func:`predict_fused` goes one step further for the scheduler's batched
+  hot path: many ``(forest, X)`` groups (one per ``(machine shape, vCPU
+  count)`` key of a batch) are concatenated into a single descent over one
+  fused arena, so one fleet event costs one forest call however many keys
+  it spans.
+
+Bit-for-bit equivalence with the per-tree path is the design invariant,
+not an accident: lanes are laid out tree-major, so the gathered leaf
+tensor is exactly the ``(n_trees, n_rows, n_outputs)`` C-contiguous array
+``np.stack([tree.predict(X) ...])`` would produce, and the same
+``np.mean``/``std`` reduction is applied to it.  Tests and the
+``bench_predict`` gate assert equality, including after ``grow``/
+``prune``/``warm_refit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.tree import descend_flat
+
+
+@dataclass
+class ArenaStats:
+    """Process-wide arena accounting (surfaced by the fleet report)."""
+
+    #: Forests compiled into arenas (recompiles after grow/prune included).
+    forests_compiled: int = 0
+    #: Arena predict/predict_std calls (single-forest).
+    predict_calls: int = 0
+    #: Fused multi-forest calls (one per goal-aware batch).
+    fused_calls: int = 0
+    #: (row x tree) lanes descended across all calls.
+    lanes_evaluated: int = 0
+
+
+#: Global counters, cumulative for the process (mirroring the block-score
+#: cache's process-wide accounting idiom).
+ARENA_STATS = ArenaStats()
+
+
+class ForestArena:
+    """One fitted forest compiled into contiguous parallel arrays.
+
+    Built from the trees' own flattened arrays (leaf values carried
+    verbatim), so evaluating the arena is bit-for-bit identical to
+    evaluating the trees.  Instances are immutable; the forest caches one
+    and replaces it wholesale when refitted.
+    """
+
+    __slots__ = (
+        "feature",
+        "threshold",
+        "left",
+        "right",
+        "values",
+        "roots",
+        "n_trees",
+        "n_features",
+        "n_outputs",
+        "squeeze",
+    )
+
+    def __init__(self, trees: Sequence) -> None:
+        if not trees:
+            raise ValueError("cannot compile an arena from zero trees")
+        first = trees[0]
+        self.n_trees = len(trees)
+        self.n_features = first._n_features
+        self.n_outputs = first._n_outputs
+        self.squeeze = first._y_was_1d
+        for tree in trees:
+            if (
+                tree._n_features != self.n_features
+                or tree._n_outputs != self.n_outputs
+                or tree._y_was_1d != self.squeeze
+            ):
+                raise ValueError(
+                    "all trees of a forest must share feature/output shape"
+                )
+        flats = [tree._flat or tree._compile() for tree in trees]
+        counts = np.array([len(flat[0]) for flat in flats], dtype=np.intp)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        self.feature = np.concatenate([flat[0] for flat in flats])
+        self.threshold = np.concatenate([flat[1] for flat in flats])
+        # Child indices rebased to the arena: the descent never leaves a
+        # tree because left/right are only read at internal nodes.
+        self.left = np.concatenate(
+            [flat[2] + base for flat, base in zip(flats, offsets)]
+        )
+        self.right = np.concatenate(
+            [flat[3] + base for flat, base in zip(flats, offsets)]
+        )
+        self.values = np.vstack([flat[4] for flat in flats])
+        self.roots = offsets[:-1].astype(np.intp)
+        ARENA_STATS.forests_compiled += 1
+
+    # ------------------------------------------------------------------
+
+    def _check_X(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"X has {X.shape[1]} features, forest was fit on "
+                f"{self.n_features}"
+            )
+        return X
+
+    def stacked(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions as one C-contiguous tensor.
+
+        Shape ``(n_trees, n_rows, n_outputs)`` (outputs squeezed for 1-d
+        targets) — byte-for-byte the array ``np.stack([tree.predict(X) for
+        tree in trees])`` builds, produced by a single lane descent.
+        """
+        X = self._check_X(X)
+        n = len(X)
+        lane_row = np.tile(np.arange(n, dtype=np.intp), self.n_trees)
+        position = np.repeat(self.roots, n)
+        descend_flat(
+            self.feature, self.threshold, self.left, self.right,
+            X, lane_row, position,
+        )
+        ARENA_STATS.lanes_evaluated += len(position)
+        stacked = self.values[position].reshape(self.n_trees, n, self.n_outputs)
+        if self.squeeze:
+            stacked = stacked[:, :, 0]
+        return stacked
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Forest mean in one traversal + one reduction."""
+        ARENA_STATS.predict_calls += 1
+        return np.mean(self.stacked(X), axis=0)
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Per-row std across trees in one traversal + one reduction."""
+        ARENA_STATS.predict_calls += 1
+        return self.stacked(X).std(axis=0)
+
+
+class _FusedArena:
+    """Several arenas' structural arrays concatenated with offsets.
+
+    Only the four descent arrays are merged (rebased like the per-tree
+    arrays were); leaf values stay in each member arena, gathered per
+    group after the shared descent.  Cached across calls because the
+    scheduler serves a handful of long-lived models per batch.
+    """
+
+    __slots__ = ("arenas", "feature", "threshold", "left", "right",
+                 "roots", "node_base")
+
+    def __init__(self, arenas: Tuple[ForestArena, ...]) -> None:
+        self.arenas = arenas
+        counts = np.array([len(a.feature) for a in arenas], dtype=np.intp)
+        bases = np.concatenate(([0], np.cumsum(counts)))
+        self.node_base = bases[:-1]
+        self.feature = np.concatenate([a.feature for a in arenas])
+        self.threshold = np.concatenate([a.threshold for a in arenas])
+        self.left = np.concatenate(
+            [a.left + base for a, base in zip(arenas, self.node_base)]
+        )
+        self.right = np.concatenate(
+            [a.right + base for a, base in zip(arenas, self.node_base)]
+        )
+        self.roots = [
+            a.roots + base for a, base in zip(arenas, self.node_base)
+        ]
+
+
+#: id-keyed fused-arena memo.  Arenas are immutable and long-lived (they
+#: live on registry models), so identity keys are stable; entries keep
+#: strong references, and hits verify identity so a recycled id can never
+#: serve another arena's fusion.  LRU-bounded like the policy target
+#: cache: a hit refreshes recency and only the stalest combination is
+#: evicted, so alternating fleets (or fresh arenas minted by retraining
+#: promotions) never dump every hot fusion at once.
+_FUSED_CACHE: Dict[Tuple[int, ...], _FusedArena] = {}
+_FUSED_CACHE_MAX = 32
+
+
+def _fused_arena(arenas: Tuple[ForestArena, ...]) -> _FusedArena:
+    key = tuple(id(a) for a in arenas)
+    entry = _FUSED_CACHE.get(key)
+    if entry is not None and all(
+        a is b for a, b in zip(entry.arenas, arenas)
+    ):
+        del _FUSED_CACHE[key]  # refresh recency (dicts keep insert order)
+        _FUSED_CACHE[key] = entry
+        return entry
+    while len(_FUSED_CACHE) >= _FUSED_CACHE_MAX:
+        _FUSED_CACHE.pop(next(iter(_FUSED_CACHE)))
+    entry = _FusedArena(arenas)
+    _FUSED_CACHE[key] = entry
+    return entry
+
+
+def predict_fused(plans: Sequence[Tuple[object, np.ndarray]]) -> List[np.ndarray]:
+    """Evaluate many ``(forest, X)`` groups in one lock-step descent.
+
+    Each group's rows are predicted by its own forest; all groups' lanes
+    are concatenated (with node-index and row-index offsets) and descend
+    the fused arena together, so the whole batch costs one numpy pass per
+    tree level regardless of how many groups — i.e. how many ``(shape,
+    vcpus)`` keys — it spans.  The returned list holds, per group, exactly
+    what ``forest.predict(X)`` returns, bit for bit.
+    """
+    if not plans:
+        return []
+    arenas = tuple(forest.arena() for forest, _ in plans)
+    Xs = [arena._check_X(X) for arena, (_, X) in zip(arenas, plans)]
+    widths = {arena.n_features for arena in arenas}
+    if len(widths) > 1:
+        raise ValueError(
+            f"fused groups disagree on feature count: {sorted(widths)}"
+        )
+    fused = _fused_arena(arenas)
+
+    lane_rows: List[np.ndarray] = []
+    positions: List[np.ndarray] = []
+    bounds: List[Tuple[int, int, int]] = []  # (lane start, lane end, rows)
+    row_base = 0
+    lane_base = 0
+    for group, (arena, X) in enumerate(zip(arenas, Xs)):
+        n = len(X)
+        lane_rows.append(
+            row_base + np.tile(np.arange(n, dtype=np.intp), arena.n_trees)
+        )
+        positions.append(np.repeat(fused.roots[group], n))
+        lanes = arena.n_trees * n
+        bounds.append((lane_base, lane_base + lanes, n))
+        row_base += n
+        lane_base += lanes
+
+    X_all = np.vstack(Xs)
+    lane_row = np.concatenate(lane_rows)
+    position = np.concatenate(positions)
+    descend_flat(
+        fused.feature, fused.threshold, fused.left, fused.right,
+        X_all, lane_row, position,
+    )
+    ARENA_STATS.fused_calls += 1
+    ARENA_STATS.lanes_evaluated += len(position)
+
+    outputs: List[np.ndarray] = []
+    for group, (arena, (start, end, n)) in enumerate(zip(arenas, bounds)):
+        local = position[start:end] - fused.node_base[group]
+        stacked = arena.values[local].reshape(arena.n_trees, n, arena.n_outputs)
+        if arena.squeeze:
+            stacked = stacked[:, :, 0]
+        outputs.append(np.mean(stacked, axis=0))
+    return outputs

@@ -12,7 +12,16 @@ from typing import List
 
 import numpy as np
 
+from repro.ml.arena import ForestArena
 from repro.ml.tree import DecisionTreeRegressor
+
+#: Row count above which predict() takes the per-tree path instead of the
+#: arena.  The arena wins the dispatch-bound regime (few rows, many trees
+#: — the scheduler's per-event calls, up to ~45x at 1 row); at several
+#: thousand rows both paths are memory-bound and the arena's (rows x
+#: trees) lane gather starts losing (~0.8x at 8k rows).  The two paths
+#: are bit-for-bit identical, so the cutover is free to correctness.
+ARENA_MAX_ROWS = 4096
 
 
 class RandomForestRegressor:
@@ -53,6 +62,33 @@ class RandomForestRegressor:
         self.random_state = random_state
         self.trees_: List[DecisionTreeRegressor] = []
         self.feature_importances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Compiled-arena lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def trees_(self) -> List[DecisionTreeRegressor]:
+        return self._trees
+
+    @trees_.setter
+    def trees_(self, trees) -> None:
+        # Reassigning the ensemble (fit, prune, warm_refit's tree sharing)
+        # invalidates the compiled arena; in-place mutation sites (grow's
+        # appends) invalidate explicitly.
+        self._trees = trees if isinstance(trees, list) else list(trees)
+        self._arena: ForestArena | None = None
+
+    def arena(self) -> ForestArena:
+        """The forest compiled into one contiguous arena — built lazily on
+        first use, cached until ``fit``/``grow``/``prune`` (or any
+        ``trees_`` reassignment) invalidates it.  Evaluating the arena is
+        bit-for-bit identical to the per-tree path."""
+        if not self._trees:
+            raise RuntimeError("arena() requested before fit()")
+        if self._arena is None:
+            self._arena = ForestArena(self._trees)
+        return self._arena
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         X = np.asarray(X, dtype=float)
@@ -128,6 +164,7 @@ class RandomForestRegressor:
             tree.fit(X[indices], y[indices])
             self.trees_.append(tree)
         self.n_estimators = len(self.trees_)
+        self._arena = None  # appended in place; the setter never saw it
         self._recompute_importances()
         return self
 
@@ -159,22 +196,45 @@ class RandomForestRegressor:
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Forest mean over all rows of ``X`` at once.
 
-        Each tree evaluates the whole batch in one vectorized pass, so this
-        is the batched prediction path: calling it with N rows is far
-        cheaper than N single-row calls, and — because every tree resolves
-        each row to the same leaf either way, and the mean reduces over the
-        tree axis in a batch-size-independent order — the results are
-        bit-for-bit identical to the single-row ones.
+        Runs on the compiled arena: every ``(row, tree)`` lane descends in
+        lock-step, so a whole forest call is one vectorized traversal plus
+        one reduction instead of a Python loop of per-tree passes.  The
+        arena carries the leaf values verbatim and the reduction sees the
+        exact tensor the per-tree path would stack, so results are
+        bit-for-bit identical to :meth:`predict_per_tree` (asserted by
+        tests and the ``bench_predict`` gate).  Batches past
+        :data:`ARENA_MAX_ROWS` take the per-tree path, which wins the
+        memory-bound regime.
         """
         if not self.trees_:
             raise RuntimeError("predict() called before fit()")
+        if np.ndim(X) == 2 and len(X) > ARENA_MAX_ROWS:
+            return self.predict_per_tree(X)
+        return self.arena().predict(X)
+
+    def predict_per_tree(self, X: np.ndarray) -> np.ndarray:
+        """Reference implementation: one vectorized pass per tree, mean
+        over the stacked predictions.  Kept as the equivalence baseline
+        the arena is verified against."""
+        if not self.trees_:
+            raise RuntimeError("predict_per_tree() called before fit()")
         predictions = [tree.predict(X) for tree in self.trees_]
         return np.mean(predictions, axis=0)
 
     def predict_std(self, X: np.ndarray) -> np.ndarray:
         """Per-sample standard deviation across trees — a cheap uncertainty
-        signal the policies can use to hedge decisions."""
+        signal the policies can use to hedge decisions.  Arena-backed
+        (with the same :data:`ARENA_MAX_ROWS` cutover as :meth:`predict`),
+        bit-for-bit identical to :meth:`predict_std_per_tree`."""
         if not self.trees_:
             raise RuntimeError("predict_std() called before fit()")
+        if np.ndim(X) == 2 and len(X) > ARENA_MAX_ROWS:
+            return self.predict_std_per_tree(X)
+        return self.arena().predict_std(X)
+
+    def predict_std_per_tree(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-tree implementation of :meth:`predict_std`."""
+        if not self.trees_:
+            raise RuntimeError("predict_std_per_tree() called before fit()")
         predictions = np.stack([tree.predict(X) for tree in self.trees_])
         return predictions.std(axis=0)

@@ -53,6 +53,34 @@ def _sse(y: np.ndarray) -> float:
     return float(((y - mean) ** 2).sum())
 
 
+def descend_flat(
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    X: np.ndarray,
+    lane_row: np.ndarray,
+    position: np.ndarray,
+) -> np.ndarray:
+    """Advance every lane to its leaf over flattened node arrays, one
+    numpy pass per tree level.
+
+    ``position`` holds each lane's current node index and is advanced in
+    place; ``lane_row`` maps lanes to rows of ``X``.  A single tree's
+    prediction is the ``lane_row = arange(n)``, ``position = zeros(n)``
+    special case; the forest arena stacks many trees' lanes into one call
+    (:mod:`repro.ml.arena`).  Kept next to the flat-array format it
+    interprets so the single-tree and arena descents can never diverge.
+    """
+    active = np.nonzero(feature[position] >= 0)[0]
+    while len(active):
+        at = position[active]
+        go_left = X[lane_row[active], feature[at]] <= threshold[at]
+        position[active] = np.where(go_left, left[at], right[at])
+        active = active[feature[position[active]] >= 0]
+    return position
+
+
 class DecisionTreeRegressor:
     """CART regression tree with multi-output support.
 
@@ -274,39 +302,43 @@ class DecisionTreeRegressor:
                 f"{self._n_features}"
             )
         feature, threshold, left, right, values = self._flat or self._compile()
-        position = np.zeros(len(X), dtype=np.intp)
-        rows = np.nonzero(feature[position] >= 0)[0]
-        while len(rows):
-            at = position[rows]
-            go_left = X[rows, feature[at]] <= threshold[at]
-            position[rows] = np.where(go_left, left[at], right[at])
-            rows = rows[feature[position[rows]] >= 0]
+        position = descend_flat(
+            feature,
+            threshold,
+            left,
+            right,
+            X,
+            np.arange(len(X), dtype=np.intp),
+            np.zeros(len(X), dtype=np.intp),
+        )
         out = values[position]
         return out[:, 0] if self._y_was_1d else out
 
     @property
     def depth(self) -> int:
-        """Actual depth of the fitted tree."""
+        """Actual depth of the fitted tree.
+
+        Derived iteratively from the flattened arrays (a recursive walk
+        can blow the interpreter's recursion limit on degenerate deep
+        trees): the compile order is depth-first preorder, so children
+        always follow their parent and one reverse pass computes every
+        subtree height.
+        """
         if self._root is None:
             raise RuntimeError("tree is not fitted")
-
-        def walk(node: _Node) -> int:
-            if node.is_leaf:
-                return 0
-            assert node.left is not None and node.right is not None
-            return 1 + max(walk(node.left), walk(node.right))
-
-        return walk(self._root)
+        feature, _, left, right, _ = self._flat or self._compile()
+        height = np.zeros(len(feature), dtype=np.intp)
+        for index in range(len(feature) - 1, -1, -1):
+            if feature[index] >= 0:
+                height[index] = 1 + max(
+                    height[left[index]], height[right[index]]
+                )
+        return int(height[0])
 
     @property
     def n_leaves(self) -> int:
+        """Leaf count, read off the flattened arrays without recursion."""
         if self._root is None:
             raise RuntimeError("tree is not fitted")
-
-        def walk(node: _Node) -> int:
-            if node.is_leaf:
-                return 1
-            assert node.left is not None and node.right is not None
-            return walk(node.left) + walk(node.right)
-
-        return walk(self._root)
+        feature, _, _, _, _ = self._flat or self._compile()
+        return int(np.count_nonzero(feature < 0))

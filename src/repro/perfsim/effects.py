@@ -12,6 +12,8 @@ workloads (the paper's kmeans preferred SMT).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 #: Bounds on per-thread efficiency under full sharing.  The upper bound
@@ -131,6 +133,118 @@ def comm_latency_factor(
         raise ValueError("latencies must be positive with mean >= local")
     excess = mean_latency_ns / local_latency_ns - 1.0
     return 1.0 / (1.0 + comm_intensity * latency_sensitivity * excess)
+
+
+# ----------------------------------------------------------------------
+# Vectorized variants
+# ----------------------------------------------------------------------
+#
+# Array counterparts of the scalar factors above, used by the simulator's
+# batched kernels (one numpy pass over a whole placement grid instead of a
+# Python call per (workload, placement) cell).  Each mirrors its scalar
+# twin's arithmetic operation-for-operation — same order of multiplies,
+# same guards expressed as ``np.where`` — so the batched kernels are
+# bit-for-bit identical to the scalar loops (asserted in
+# ``tests/perfsim/test_simulator_batch.py``).  Inputs are trusted (they
+# come from validated profiles and placements), so the scalar versions'
+# range checks are not repeated here.
+
+
+def smt_factor_array(
+    l2_share: np.ndarray,
+    threads_per_l2: int,
+    machine_smt_efficiency: float,
+    smt_affinity: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`smt_factor`; broadcasts ``l2_share`` (per
+    placement) against ``smt_affinity`` (per workload)."""
+    l2_share = np.asarray(l2_share)
+    smt_affinity = np.asarray(smt_affinity)
+    if threads_per_l2 <= 1:
+        return np.ones(np.broadcast(l2_share, smt_affinity).shape)
+    degree = (l2_share - 1) / (threads_per_l2 - 1)
+    efficiency = machine_smt_efficiency + _SMT_AFFINITY_WEIGHT * smt_affinity
+    efficiency = np.minimum(
+        np.maximum(efficiency, _MIN_SMT_EFFICIENCY), _MAX_SMT_EFFICIENCY
+    )
+    return np.where(l2_share <= 1, 1.0, 1.0 + degree * (efficiency - 1.0))
+
+
+def effective_working_set_per_l3_array(
+    working_set_mb: np.ndarray,
+    shared_fraction: np.ndarray,
+    n_l3: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`effective_working_set_per_l3`."""
+    private = working_set_mb * (1.0 - shared_fraction)
+    shared = working_set_mb * shared_fraction
+    return shared + private / n_l3
+
+
+def miss_fraction_array(
+    working_set_per_l3_mb: np.ndarray, l3_size_mb
+) -> np.ndarray:
+    """Vectorized :func:`miss_fraction`."""
+    return np.maximum(0.0, 1.0 - l3_size_mb / working_set_per_l3_mb)
+
+
+def cache_factor_array(
+    sensitivity: np.ndarray, misses: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`cache_factor`."""
+    return 1.0 - sensitivity * misses
+
+
+#: Elementwise libm pow.  numpy's vectorized float64 power differs from
+#: CPython's ``float ** float`` (both call libm, but numpy's SIMD kernel
+#: rounds differently in the last ulp), and the batched kernels must be
+#: *bit-for-bit* equal to the scalar loops they replace — so the two pow
+#: applications per saturation factor go through libm per element, like
+#: the scalar path's ``**``.  Everything around them stays vectorized;
+#: profiling shows the pow loop is a rounding error next to the removed
+#: per-cell Python effect calls.
+_libm_pow = np.frompyfunc(math.pow, 2, 1)
+
+
+def saturation_factor_array(
+    demand: np.ndarray, supply, sharpness: float = 4.0
+) -> np.ndarray:
+    """Vectorized :func:`saturation_factor`, with the scalar guards as
+    masks: zero demand is 1.0 (checked first, as in the scalar), zero
+    supply under nonzero demand is 0.0."""
+    demand = np.asarray(demand, dtype=float)
+    supply = np.asarray(supply, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        utilization = demand / supply
+    inner = 1.0 + _libm_pow(utilization, sharpness).astype(float)
+    factor = _libm_pow(inner, -1.0 / sharpness).astype(float)
+    return np.where(demand == 0.0, 1.0, np.where(supply == 0.0, 0.0, factor))
+
+
+def comm_latency_factor_array(
+    comm_intensity: np.ndarray,
+    latency_sensitivity: np.ndarray,
+    mean_latency_ns: np.ndarray,
+    local_latency_ns: float,
+) -> np.ndarray:
+    """Vectorized :func:`comm_latency_factor`."""
+    excess = mean_latency_ns / local_latency_ns - 1.0
+    return 1.0 / (1.0 + comm_intensity * latency_sensitivity * excess)
+
+
+def l2_capacity_factor_array(
+    working_set_per_vcpu_mb: np.ndarray,
+    l2_share: np.ndarray,
+    l2_size_mb: float,
+    pressure_mb: float,
+) -> np.ndarray:
+    """Vectorized :func:`l2_capacity_factor`."""
+    pressure = np.minimum(
+        1.0, working_set_per_vcpu_mb / (l2_size_mb + pressure_mb)
+    )
+    return np.where(
+        l2_share <= 1, 1.0, 1.0 - 0.06 * (l2_share - 1) * pressure
+    )
 
 
 def l2_capacity_factor(

@@ -45,6 +45,53 @@ def _stable_seed(*parts) -> int:
     return zlib.crc32(text.encode("utf-8"))
 
 
+class _PlacementArrays:
+    """Per-placement attribute arrays for one placement list.
+
+    The batched kernels evaluate whole (workload x placement) grids in
+    single numpy passes; everything that depends only on the placements —
+    node counts, interconnect supplies, mean latencies — is extracted once
+    here and reused across calls (the placement lists of a shape are
+    long-lived :class:`~repro.core.enumeration.ImportantPlacementSet`
+    objects, so the simulator memoizes these arrays keyed by the tuple of
+    placements).
+    """
+
+    __slots__ = (
+        "n_nodes",
+        "vcpus",
+        "l2_share",
+        "l3_score",
+        "ic_supply",
+        "mean_latency",
+    )
+
+    def __init__(
+        self, machine: MachineTopology, placements: Sequence[Placement]
+    ) -> None:
+        self.n_nodes = np.array([p.n_nodes for p in placements], dtype=float)
+        self.vcpus = np.array([p.vcpus for p in placements], dtype=float)
+        self.l2_share = np.array([p.l2_share for p in placements])
+        self.l3_score = np.array([p.l3_score for p in placements], dtype=float)
+        # Supply is only read where n_nodes > 1 (single-node demand is
+        # exactly zero there); the placeholder keeps the masked division
+        # warning-free.
+        self.ic_supply = np.array(
+            [
+                machine.interconnect.aggregate_bandwidth(p.nodes)
+                if p.n_nodes > 1
+                else 1.0
+                for p in placements
+            ]
+        )
+        self.mean_latency = np.array(
+            [
+                machine.interconnect.mean_pairwise_latency_ns(p.nodes)
+                for p in placements
+            ]
+        )
+
+
 class PerformanceSimulator:
     """Simulates workload throughput in placements on one machine.
 
@@ -72,6 +119,8 @@ class PerformanceSimulator:
             calibration if calibration is not None else calibration_for(machine)
         )
         self.seed = seed
+        #: tuple(placements) -> _PlacementArrays, for the batched kernels.
+        self._placement_arrays_cache: Dict[Tuple, _PlacementArrays] = {}
 
     # ------------------------------------------------------------------
     # Single-container model
@@ -141,6 +190,204 @@ class PerformanceSimulator:
             "interconnect": interconnect,
             "comm_latency": comm,
         }
+
+    # ------------------------------------------------------------------
+    # Batched kernels: whole (workload x placement) grids per numpy pass
+    # ------------------------------------------------------------------
+
+    def _placement_arrays(
+        self, placements: Sequence[Placement]
+    ) -> _PlacementArrays:
+        key = tuple(placements)
+        arrays = self._placement_arrays_cache.get(key)
+        if arrays is None:
+            for placement in placements:
+                self._check_placement(placement)
+            if len(self._placement_arrays_cache) >= 16:
+                self._placement_arrays_cache.clear()
+            arrays = _PlacementArrays(self.machine, placements)
+            self._placement_arrays_cache[key] = arrays
+        return arrays
+
+    @staticmethod
+    def _profile_column(
+        profiles: Sequence[WorkloadProfile], attribute: str
+    ) -> np.ndarray:
+        """One profile attribute as an ``(n, 1)`` column, ready to
+        broadcast against per-placement rows."""
+        return np.array(
+            [getattr(profile, attribute) for profile in profiles],
+            dtype=float,
+        )[:, None]
+
+    def breakdown_batch(
+        self,
+        profiles: Sequence[WorkloadProfile],
+        placements: Sequence[Placement],
+    ) -> Dict[str, np.ndarray]:
+        """Noise-free per-effect multipliers for every (workload,
+        placement) pair, each factor an ``(n_profiles, n_placements)``
+        array computed in one numpy pass.
+
+        Bit-for-bit identical to calling :meth:`breakdown` per cell: the
+        array expressions repeat the scalar arithmetic
+        operation-for-operation (see the vectorized variants in
+        :mod:`repro.perfsim.effects`), they just do it for the whole grid
+        at once.  This is the kernel every training-set build and retrain
+        pays, ``n_workloads x n_placements`` times.
+        """
+        if not placements:
+            raise ValueError("placements must not be empty")
+        if not profiles:
+            raise ValueError("profiles must not be empty")
+        machine = self.machine
+        cal = self.calibration
+        arrays = self._placement_arrays(placements)
+        l2_share = arrays.l2_share[None, :]
+        vcpus = arrays.vcpus[None, :]
+        n_nodes = arrays.n_nodes[None, :]
+
+        working_set = self._profile_column(profiles, "working_set_mb")
+        smt = effects.smt_factor_array(
+            l2_share,
+            machine.threads_per_l2,
+            cal.smt_efficiency,
+            self._profile_column(profiles, "smt_affinity"),
+        ) * effects.l2_capacity_factor_array(
+            working_set / vcpus,
+            l2_share,
+            machine.l2_size_kb / 1024.0,
+            cal.l2_pressure_mb,
+        )
+
+        ws_per_l3 = effects.effective_working_set_per_l3_array(
+            working_set,
+            self._profile_column(profiles, "shared_fraction"),
+            arrays.l3_score[None, :],
+        )
+        misses = effects.miss_fraction_array(ws_per_l3, machine.l3_size_mb)
+        cache = effects.cache_factor_array(
+            self._profile_column(profiles, "cache_sensitivity"), misses
+        )
+
+        dram_demand = (
+            vcpus * self._profile_column(profiles, "membw_per_vcpu") * misses
+        )
+        dram_supply = n_nodes * machine.dram_bandwidth_mbps
+        membw = effects.saturation_factor_array(
+            dram_demand, dram_supply, cal.saturation_sharpness
+        )
+
+        # Single-node placements have cross_fraction exactly 0, hence
+        # demand exactly 0, hence factor exactly 1.0 — the scalar path's
+        # n_nodes == 1 branch falls out of the mask-free arithmetic.
+        cross_fraction = (n_nodes - 1.0) / n_nodes
+        ic_demand = (
+            dram_demand
+            * (1.0 - self._profile_column(profiles, "numa_locality"))
+            * cross_fraction
+            + vcpus
+            * self._profile_column(profiles, "comm_bytes_per_vcpu")
+            * cross_fraction
+        )
+        interconnect = effects.saturation_factor_array(
+            ic_demand, arrays.ic_supply[None, :], cal.saturation_sharpness
+        )
+
+        comm = effects.comm_latency_factor_array(
+            self._profile_column(profiles, "comm_intensity"),
+            self._profile_column(profiles, "comm_latency_sensitivity"),
+            arrays.mean_latency[None, :],
+            machine.interconnect.local_latency_ns,
+        )
+
+        return {
+            "smt": smt,
+            "cache": cache,
+            "membw": membw,
+            "interconnect": interconnect,
+            "comm_latency": comm,
+        }
+
+    def _apply_noise_grid(
+        self,
+        values: np.ndarray,
+        profiles: Sequence[WorkloadProfile],
+        placements: Sequence[Placement],
+        duration_s: float,
+        repetition: int,
+        extra: int,
+    ) -> None:
+        """Multiply each grid cell by its scalar noise draw, in place.
+
+        Noise stays a per-cell draw by construction: every (workload,
+        placement, repetition) key seeds its own generator, which is what
+        makes simulated measurements reproducible independent of batch
+        shape — and exactly why the deterministic part is worth batching.
+        """
+        for row, profile in enumerate(profiles):
+            if profile.phase_noise <= 0:
+                continue
+            for col, placement in enumerate(placements):
+                values[row, col] *= self._noise_multiplier(
+                    profile, placement, duration_s, repetition, extra=extra
+                )
+
+    def throughput_batch(
+        self,
+        profiles: Sequence[WorkloadProfile],
+        placements: Sequence[Placement],
+        *,
+        noise: bool = True,
+        duration_s: float = 10.0,
+        repetition: int = 0,
+    ) -> np.ndarray:
+        """Application-metric throughput for a whole (workload, placement)
+        grid — one :meth:`breakdown_batch` pass, bit-for-bit identical to
+        per-cell :meth:`throughput` calls."""
+        factors = self.breakdown_batch(profiles, placements)
+        values = (
+            self._profile_column(profiles, "ipc_base")
+            * self._placement_arrays(placements).vcpus[None, :]
+        )
+        for name in ("smt", "cache", "membw", "interconnect", "comm_latency"):
+            values = values * factors[name]
+        if noise:
+            self._apply_noise_grid(
+                values, profiles, placements, duration_s, repetition, extra=0
+            )
+        return values
+
+    def measured_ipc_batch(
+        self,
+        profiles: Sequence[WorkloadProfile],
+        placements: Sequence[Placement],
+        *,
+        noise: bool = True,
+        duration_s: float = 10.0,
+        repetition: int = 0,
+    ) -> np.ndarray:
+        """Measured IPC for a whole (workload, placement) grid — the
+        training-set kernel (:func:`repro.core.training.build_training_set`
+        and every retrain's :func:`~repro.core.training.extend_training_set`
+        run on this), bit-for-bit identical to per-cell
+        :meth:`measured_ipc` calls."""
+        factors = self.breakdown_batch(profiles, placements)
+        values = np.array(
+            [self.base_ipc(profile) for profile in profiles], dtype=float
+        )[:, None] * factors["smt"]
+        for name in ("cache", "membw", "interconnect", "comm_latency"):
+            values = values * factors[name]
+        if noise:
+            self._apply_noise_grid(
+                values,
+                profiles,
+                placements,
+                duration_s,
+                repetition,
+                extra=1_000_003,
+            )
+        return values
 
     def throughput(
         self,
@@ -265,18 +512,41 @@ class PerformanceSimulator:
                 f"baseline_index {baseline_index} out of range for "
                 f"{len(placements)} placements"
             )
-        values = np.array(
-            [
-                self.throughput(
-                    profile, p, noise=noise, repetition=repetition
-                )
-                for p in placements
-            ]
-        )
+        values = self.throughput_batch(
+            [profile], placements, noise=noise, repetition=repetition
+        )[0]
         baseline = values[baseline_index]
         if baseline <= 0:
             raise ValueError("baseline throughput is non-positive")
         return values / baseline
+
+    def performance_vector_batch(
+        self,
+        profiles: Sequence[WorkloadProfile],
+        placements: Sequence[Placement],
+        *,
+        baseline_index: int = 0,
+        noise: bool = False,
+        repetition: int = 0,
+    ) -> np.ndarray:
+        """Relative-performance vectors for many workloads at once: one
+        ``(n_profiles, n_placements)`` grid in one numpy pass, each row
+        bit-for-bit equal to the corresponding :meth:`performance_vector`
+        call."""
+        if not placements:
+            raise ValueError("placements must not be empty")
+        if not 0 <= baseline_index < len(placements):
+            raise ValueError(
+                f"baseline_index {baseline_index} out of range for "
+                f"{len(placements)} placements"
+            )
+        values = self.throughput_batch(
+            profiles, placements, noise=noise, repetition=repetition
+        )
+        baselines = values[:, baseline_index : baseline_index + 1]
+        if np.any(baselines <= 0):
+            raise ValueError("baseline throughput is non-positive")
+        return values / baselines
 
     # ------------------------------------------------------------------
     # Co-located containers (Aggressive policies, Section 7)
@@ -457,6 +727,202 @@ class PerformanceSimulator:
                     profile, placement, 10.0, repetition, extra=index
                 )
             results.append(value)
+        return results
+
+    def simulate_colocated_batch(
+        self,
+        assignments: Sequence[Tuple[WorkloadProfile, Placement]],
+        *,
+        noise: bool = True,
+        repetition: int = 0,
+    ) -> List[float]:
+        """Batched :meth:`simulate_colocated`: same contract, same floats.
+
+        The scalar path walks Python loops of effect-model calls per
+        container and per node; here the (container, node) pair structure
+        is flattened once and every elementwise factor — CPU time-sharing,
+        SMT pressure, cache shares, per-node DRAM saturation — is computed
+        for all pairs in one numpy pass.  The per-container reductions
+        (the ``np.dot`` weightings and the neighbour interconnect
+        accumulation) deliberately run over the same values in the same
+        order as the scalar loop, so results are bit-for-bit identical
+        (asserted in ``tests/perfsim/test_simulator_batch.py``).
+        """
+        if not assignments:
+            raise ValueError("assignments must not be empty")
+        machine = self.machine
+        cal = self.calibration
+        for _, placement in assignments:
+            self._check_placement(placement)
+
+        n = len(assignments)
+        # Flatten (container, node) pairs in scalar iteration order.
+        pair_container: List[int] = []
+        pair_node: List[int] = []
+        pair_count: List[int] = []
+        per_container_nodes: List[Dict[int, int]] = []
+        threads_on_node: Dict[int, float] = {}
+        for index, (_, placement) in enumerate(assignments):
+            counts: Dict[int, int] = {}
+            for thread in placement.threads:
+                node = machine.node_of_thread(thread)
+                counts[node] = counts.get(node, 0) + 1
+            per_container_nodes.append(counts)
+            for node, count in counts.items():
+                threads_on_node[node] = threads_on_node.get(node, 0) + count
+                pair_container.append(index)
+                pair_node.append(node)
+                pair_count.append(count)
+        container_of_pair = np.asarray(pair_container, dtype=np.intp)
+        counts_arr = np.asarray(pair_count, dtype=float)
+        ton = np.array(
+            [threads_on_node[node] for node in pair_node], dtype=float
+        )
+        node_index = {node: k for k, node in enumerate(threads_on_node)}
+        node_of_pair = np.array(
+            [node_index[node] for node in pair_node], dtype=np.intp
+        )
+        bounds = np.concatenate(
+            ([0], np.cumsum([len(c) for c in per_container_nodes]))
+        )
+
+        # Per-container profile/placement columns.
+        profiles = [profile for profile, _ in assignments]
+        working_set = np.array([p.working_set_mb for p in profiles])
+        vcpus = np.array([p.vcpus for _, p in assignments], dtype=float)
+        l2_share = np.array([p.l2_share for _, p in assignments])
+        n_nodes = np.array([p.n_nodes for _, p in assignments], dtype=float)
+        l3_score = np.array([p.l3_score for _, p in assignments], dtype=float)
+
+        # Cache shares and miss fractions: one pass over all pairs.
+        ratio = counts_arr / ton
+        share = np.array(
+            [
+                np.mean(ratio[start:end])
+                for start, end in zip(bounds[:-1], bounds[1:])
+            ]
+        )
+        ws_per_l3 = effects.effective_working_set_per_l3_array(
+            working_set,
+            np.array([p.shared_fraction for p in profiles]),
+            l3_score,
+        )
+        misses = effects.miss_fraction_array(
+            ws_per_l3, machine.l3_size_mb * share
+        )
+
+        # Per-node DRAM demand, accumulated in scalar order (np.add.at
+        # adds element-by-element in pair order — the scalar loop's order).
+        demand = (
+            vcpus * np.array([p.membw_per_vcpu for p in profiles]) * misses
+        )
+        dram_on_node = np.zeros(len(node_index))
+        np.add.at(
+            dram_on_node,
+            node_of_pair,
+            demand[container_of_pair] * counts_arr / vcpus[container_of_pair],
+        )
+
+        # Per-container interconnect demand (zero for single-node).
+        cross = np.where(n_nodes > 1, (n_nodes - 1.0) / n_nodes, 0.0)
+        ic_demands = (
+            demand
+            * (1.0 - np.array([p.numa_locality for p in profiles]))
+            * cross
+            + vcpus * np.array([p.comm_bytes_per_vcpu for p in profiles]) * cross
+        )
+
+        # Per-pair factor values, one numpy pass each.
+        cpu_vals = np.minimum(1.0, machine.threads_per_node / ton)
+        pressure = ton / machine.l2_groups_per_node
+        eff_share = np.maximum(
+            l2_share[container_of_pair],
+            np.minimum(machine.threads_per_l2, pressure),
+        )
+        smt_vals = effects.smt_factor_array(
+            eff_share,
+            machine.threads_per_l2,
+            cal.smt_efficiency,
+            np.array([p.smt_affinity for p in profiles])[container_of_pair],
+        )
+        membw_vals = effects.saturation_factor_array(
+            dram_on_node[node_of_pair],
+            machine.dram_bandwidth_mbps,
+            cal.saturation_sharpness,
+        )
+
+        # Per-container factors.
+        l2cap = effects.l2_capacity_factor_array(
+            working_set / vcpus,
+            l2_share,
+            machine.l2_size_kb / 1024.0,
+            cal.l2_pressure_mb,
+        )
+        cache = effects.cache_factor_array(
+            np.array([p.cache_sensitivity for p in profiles]), misses
+        )
+        comm = effects.comm_latency_factor_array(
+            np.array([p.comm_intensity for p in profiles]),
+            np.array([p.comm_latency_sensitivity for p in profiles]),
+            np.array(
+                [
+                    machine.interconnect.mean_pairwise_latency_ns(p.nodes)
+                    for _, p in assignments
+                ]
+            ),
+            machine.interconnect.local_latency_ns,
+        )
+        ic_supply = [
+            machine.interconnect.aggregate_bandwidth(p.nodes)
+            if p.n_nodes > 1
+            else 0.0
+            for _, p in assignments
+        ]
+        overlap = np.zeros((n, len(node_index)), dtype=np.intp)
+        overlap[container_of_pair, node_of_pair] = 1
+        overlap = overlap @ overlap.T  # exact node-overlap counts
+        n_nodes_int = [p.n_nodes for _, p in assignments]
+
+        results: List[float] = []
+        for index, (profile, placement) in enumerate(assignments):
+            start, end = bounds[index], bounds[index + 1]
+            weights = counts_arr[start:end] / counts_arr[start:end].sum()
+            cpu = float(np.dot(weights, cpu_vals[start:end]))
+            smt = float(np.dot(weights, smt_vals[start:end])) * l2cap[index]
+            membw = float(np.dot(weights, membw_vals[start:end]))
+            if placement.n_nodes > 1:
+                # The neighbour accumulation stays a loop in scalar order;
+                # its inputs (overlap counts) are precomputed above.
+                ic_demand = 0.0
+                for other in range(n):
+                    if other == index:
+                        ic_demand += ic_demands[other]
+                    else:
+                        ic_demand += (
+                            ic_demands[other]
+                            * overlap[index, other]
+                            / n_nodes_int[other]
+                        )
+                interconnect = effects.saturation_factor(
+                    float(ic_demand), ic_supply[index], cal.saturation_sharpness
+                )
+            else:
+                interconnect = 1.0
+            value = (
+                profile.ipc_base
+                * placement.vcpus
+                * cpu
+                * smt
+                * cache[index]
+                * membw
+                * interconnect
+                * comm[index]
+            )
+            if noise and profile.phase_noise > 0:
+                value *= self._noise_multiplier(
+                    profile, placement, 10.0, repetition, extra=index
+                )
+            results.append(float(value))
         return results
 
     # ------------------------------------------------------------------

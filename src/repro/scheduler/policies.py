@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.blockscores import BlockScoreTable, block_score_table
 from repro.core.enumeration import ImportantPlacementSet
 from repro.core.placements import Placement
+from repro.ml.arena import predict_fused
 from repro.scheduler.fleet import Fleet, FleetHost, minimal_shape
 from repro.scheduler.registry import ModelRegistry
 from repro.scheduler.requests import PlacementRequest
@@ -300,11 +301,12 @@ class SpreadFleetPolicy(_HeuristicFleetPolicy):
 class GoalAwareFleetPolicy(FleetPolicy):
     """The paper's model-driven policy lifted to the fleet.
 
-    All requests of a batch that share a (machine shape, vCPU count) key
-    are predicted together through
-    :meth:`~repro.core.model.PlacementModel.predict_batch`, and the
-    important placements come from the registry's memo cache — the two hot
-    paths this subsystem optimizes.
+    One batch, one forest call: requests sharing a (machine shape, vCPU
+    count) key are probed together through the registry's vectorized
+    probe helper, every key's feature matrix is concatenated, and the
+    whole batch descends the fused forest arena in a single
+    :func:`~repro.ml.arena.predict_fused` call.  Important placements
+    come from the registry's memo cache.
 
     Parameters
     ----------
@@ -348,55 +350,58 @@ class GoalAwareFleetPolicy(FleetPolicy):
         self.best_effort_slack = best_effort_slack
         self.probe_duration_s = probe_duration_s
         self.indexed = indexed
-        #: Batched-prediction accounting for the fleet report.
+        #: Batched-prediction accounting for the fleet report: one fused
+        #: forest call per decide_batch, however many keys it spans.
         self.predict_calls = 0
         self.predicted_rows = 0
         #: id(placements) -> (placements, scorer, per-index target scores)
         #: — the indexed hot path resolves these once per placement set
-        #: instead of once per candidate host (the set is kept referenced,
-        #: so its id cannot be recycled while cached).
+        #: instead of once per candidate host.  LRU-bounded: entries keep
+        #: their placement set strongly referenced (so a cached id can
+        #: never be recycled), which without eviction would pin every set
+        #: a long churn run ever saw; the bound evicts the stalest entry
+        #: instead of growing without limit.
         self._target_cache: Dict[int, Tuple] = {}
+        self._target_cache_max = 32
 
     # ------------------------------------------------------------------
 
-    def _predict_group(
+    def _group_features(
         self,
         machine: MachineTopology,
         vcpus: int,
         group: Sequence[PlacementRequest],
-    ) -> Tuple[ImportantPlacementSet, np.ndarray] | None:
-        """Probe and predict every request of one (shape, vcpus) group in
-        one batched model call; None when the shape cannot host them."""
+    ) -> Tuple[ImportantPlacementSet, object, np.ndarray] | None:
+        """Probe one (shape, vcpus) group and assemble its forest feature
+        matrix; None when the shape cannot host the group.
+
+        Observation assembly goes through the registry's vectorized probe
+        helper: the memoized deterministic parts of the whole group are
+        gathered (and any misses simulated) in one batched kernel call,
+        only the per-repetition noise draws stay per probe.
+        """
         try:
             placements = self.registry.placements(machine, vcpus)
             model = self.registry.model(machine, vcpus)
         except ValueError:
             return None
         i, j = model.input_pair
-        obs_i = np.empty(len(group))
-        obs_j = np.empty(len(group))
-        for row, request in enumerate(group):
-            # Through the registry's probe memo: the deterministic part of
-            # each observation is computed once per (profile, placement),
-            # only the per-repetition noise draw is fresh.
-            obs_i[row] = self.registry.probe_ipc(
-                machine,
-                request.profile,
-                placements[i],
-                duration_s=self.probe_duration_s,
-                repetition=request.request_id,
-            )
-            obs_j[row] = self.registry.probe_ipc(
-                machine,
-                request.profile,
-                placements[j],
-                duration_s=self.probe_duration_s,
-                repetition=request.request_id + 1,
-            )
-        vectors = model.predict_batch(obs_i, obs_j)
-        self.predict_calls += 1
-        self.predicted_rows += len(group)
-        return placements, vectors
+        profiles = [request.profile for request in group]
+        obs_i = self.registry.probe_ipc_batch(
+            machine,
+            profiles,
+            placements[i],
+            duration_s=self.probe_duration_s,
+            repetitions=[request.request_id for request in group],
+        )
+        obs_j = self.registry.probe_ipc_batch(
+            machine,
+            profiles,
+            placements[j],
+            duration_s=self.probe_duration_s,
+            repetitions=[request.request_id + 1 for request in group],
+        )
+        return placements, model, model.batch_features(obs_i, obs_j)
 
     def min_block_nodes(
         self, machine: MachineTopology, vcpus: int
@@ -419,21 +424,30 @@ class GoalAwareFleetPolicy(FleetPolicy):
 
     def _scorer_and_targets(self, placements: ImportantPlacementSet):
         """The placement set's scorer plus each candidate's target score,
-        computed once per set (they are pure functions of it)."""
-        entry = self._target_cache.get(id(placements))
-        if entry is None or entry[0] is not placements:
-            if len(self._target_cache) >= 32:
-                # A memoized registry serves a handful of long-lived sets
-                # and never trips this; an unmemoized one mints a fresh
-                # set per decide_batch, and without the bound the cache
-                # would pin every dead set forever.
-                self._target_cache.clear()
-            scorer = self._scorer(placements)
-            targets = tuple(
-                scorer(frozenset(candidate.nodes)) for candidate in placements
-            )
-            entry = (placements, scorer, targets)
-            self._target_cache[id(placements)] = entry
+        computed once per set (they are pure functions of it).
+
+        LRU eviction: a memoized registry serves a handful of long-lived
+        sets that always stay resident; an unmemoized one mints a fresh
+        set per decide_batch, and evicting the least-recently-used entry
+        (rather than wholesale clearing, which would also dump every hot
+        set) keeps memory bounded on long-lived churn runs without
+        re-deriving the sets still in play.
+        """
+        key = id(placements)
+        entry = self._target_cache.get(key)
+        if entry is not None and entry[0] is placements:
+            # Refresh recency (dict preserves insertion order).
+            del self._target_cache[key]
+            self._target_cache[key] = entry
+            return entry[1], entry[2]
+        while len(self._target_cache) >= self._target_cache_max:
+            self._target_cache.pop(next(iter(self._target_cache)))
+        scorer = self._scorer(placements)
+        targets = tuple(
+            scorer(frozenset(candidate.nodes)) for candidate in placements
+        )
+        entry = (placements, scorer, targets)
+        self._target_cache[key] = entry
         return entry[1], entry[2]
 
     def _preference_order(
@@ -457,17 +471,33 @@ class GoalAwareFleetPolicy(FleetPolicy):
         return meeting + rest
 
     def decide_batch(self, requests, fleet):
-        # Phase 1: batched prediction per (shape, vcpus) key.
+        # Phase 1: probe and assemble features per (shape, vcpus) key,
+        # then predict the *whole batch* — every group of every shape —
+        # through one fused arena call: one fleet event, one forest call,
+        # however many keys the batch spans.
         groups: Dict[int, List[PlacementRequest]] = {}
         for request in requests:
             groups.setdefault(request.vcpus, []).append(request)
-        predictions: Dict[Tuple, Tuple] = {}
+        plans: List[Tuple] = []
         for machine in fleet.shapes:
             for vcpus, group in groups.items():
-                predicted = self._predict_group(machine, vcpus, group)
-                if predicted is None:
+                prepared = self._group_features(machine, vcpus, group)
+                if prepared is None:
                     continue
-                placements, vectors = predicted
+                placements, model, features = prepared
+                plans.append(
+                    (machine, vcpus, group, placements, model, features)
+                )
+        predictions: Dict[Tuple, Tuple] = {}
+        if plans:
+            outputs = predict_fused(
+                [(model.forest, features) for _, _, _, _, model, features in plans]
+            )
+            self.predict_calls += 1
+            for (machine, vcpus, group, placements, _, _), vectors in zip(
+                plans, outputs
+            ):
+                self.predicted_rows += len(group)
                 by_request = {
                     request.request_id: vectors[row]
                     for row, request in enumerate(group)

@@ -25,7 +25,9 @@ thousands of requests.  The registry memoizes all of it:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.enumeration import (
     ImportantPlacementSet,
@@ -282,6 +284,80 @@ class ModelRegistry:
                 repetition=repetition,
             )
         )
+
+    def probe_ipc_batch(
+        self,
+        machine: MachineTopology,
+        profiles: Sequence[WorkloadProfile],
+        placement: Placement,
+        *,
+        duration_s: float,
+        repetitions: Sequence[int],
+    ) -> np.ndarray:
+        """Probe observations for a whole request group in one placement.
+
+        The assembly half of the goal-aware hot path: all memoized
+        deterministic parts are gathered first (misses — distinct profiles
+        the memo has never seen — are simulated together through the
+        vectorized :meth:`~repro.perfsim.simulator.PerformanceSimulator.
+        measured_ipc_batch` kernel), then each probe gets its own fresh
+        noise draw.  Entry ``k`` is bit-for-bit what ``probe_ipc(machine,
+        profiles[k], placement, duration_s=..., repetition=
+        repetitions[k])`` returns, including the hit/miss accounting.
+        """
+        if len(profiles) != len(repetitions):
+            raise ValueError("profiles and repetitions must align")
+        simulator = self.simulator(machine)
+        if not self.memoize_ipc:
+            self._ipc_misses += len(profiles)
+            return np.array(
+                [
+                    simulator.measured_ipc(
+                        profile,
+                        placement,
+                        duration_s=duration_s,
+                        repetition=repetition,
+                    )
+                    for profile, repetition in zip(profiles, repetitions)
+                ]
+            )
+        fingerprint = machine.fingerprint()
+        deterministic = np.empty(len(profiles))
+        missing: Dict[WorkloadProfile, List[int]] = {}
+        for row, profile in enumerate(profiles):
+            value = self._solo_ipc.get((fingerprint, profile, placement))
+            if value is None:
+                missing.setdefault(profile, []).append(row)
+            else:
+                self._ipc_hits += 1
+                deterministic[row] = value
+        if missing:
+            fresh_profiles = list(missing)
+            fresh_values = simulator.measured_ipc_batch(
+                fresh_profiles, [placement], noise=False
+            )[:, 0]
+            for profile, value in zip(fresh_profiles, fresh_values):
+                rows = missing[profile]
+                # Sequential accounting: first occurrence missed, any
+                # repeats in the same group would have hit the just-filled
+                # memo.
+                self._ipc_misses += 1
+                self._ipc_hits += len(rows) - 1
+                self._solo_ipc[(fingerprint, profile, placement)] = float(value)
+                for row in rows:
+                    deterministic[row] = value
+        noise = np.array(
+            [
+                simulator.measured_ipc_noise(
+                    profile,
+                    placement,
+                    duration_s=duration_s,
+                    repetition=repetition,
+                )
+                for profile, repetition in zip(profiles, repetitions)
+            ]
+        )
+        return deterministic * noise
 
     def baseline_ipc(
         self, machine: MachineTopology, vcpus: int, profile: WorkloadProfile

@@ -107,6 +107,12 @@ class FleetReport:
     predicted_rows: int = 0
     #: Noise-free IPC memo accounting (the grader's hot path).
     ipc_cache_info: CacheInfo | None = None
+    #: Arena-inference accounting (process-wide, like the block-score
+    #: cache): compiled forests, fused multi-forest calls, and total
+    #: (row x tree) lanes descended.
+    arena_forests: int = 0
+    arena_fused_calls: int = 0
+    arena_lanes: int = 0
     #: Shared block-score table accounting (per-shape, process-wide).
     blockscore_cache_info: CacheInfo | None = None
     #: Whether the policy consulted the incremental fleet index.
@@ -137,6 +143,7 @@ class FleetReport:
         fleet/registry/policy counters are folded in, shared by the
         one-shot and lifecycle schedulers so their reports cannot drift."""
         from repro.core.blockscores import DEFAULT_BLOCK_SCORE_CACHE
+        from repro.ml.arena import ARENA_STATS
 
         per_host = [h.thread_utilization for h in fleet.hosts]
         return cls(
@@ -153,6 +160,9 @@ class FleetReport:
             predict_calls=getattr(policy, "predict_calls", 0),
             predicted_rows=getattr(policy, "predicted_rows", 0),
             ipc_cache_info=registry.ipc_cache_info(),
+            arena_forests=ARENA_STATS.forests_compiled,
+            arena_fused_calls=ARENA_STATS.fused_calls,
+            arena_lanes=ARENA_STATS.lanes_evaluated,
             blockscore_cache_info=DEFAULT_BLOCK_SCORE_CACHE.info(),
             indexed=getattr(policy, "indexed", True),
             churn=churn,
@@ -279,7 +289,12 @@ class FleetReport:
         if self.predict_calls:
             lines.append(
                 f"  batched prediction: {self.predicted_rows} vectors in "
-                f"{self.predict_calls} forest calls"
+                f"{self.predict_calls} fused forest calls"
+            )
+            lines.append(
+                f"  arena inference: {self.arena_forests} forest(s) "
+                f"compiled process-wide, {self.arena_fused_calls} fused "
+                f"calls, {self.arena_lanes} lanes evaluated"
             )
         if self.churn is not None:
             lines.append(self.churn.describe())

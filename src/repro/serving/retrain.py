@@ -3,11 +3,13 @@
 The warm-start discipline keeps retraining cheap enough to run inside the
 serving loop:
 
-* **corpus growth is incremental** — the key's retained
+* **corpus growth is incremental and batched** — the key's retained
   :class:`~repro.core.training.TrainingSet` gains rows only for workloads
-  observed in the trace window that the corpus has never seen
-  (:func:`~repro.core.training.extend_training_set` simulates just those
-  rows);
+  observed in the trace window that the corpus has never seen, and
+  :func:`~repro.core.training.extend_training_set` simulates all of those
+  rows in one vectorized
+  :meth:`~repro.perfsim.simulator.PerformanceSimulator.measured_ipc_batch`
+  kernel call rather than a Python loop per (workload, placement) cell;
 * **the forest is grown, not refitted** — the candidate inherits the
   incumbent's trees, grows a budgeted batch of fresh trees on the extended
   corpus, and prunes the oldest back to the tree budget

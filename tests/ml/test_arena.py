@@ -1,0 +1,221 @@
+"""Bit-for-bit equivalence of arena-compiled inference vs the per-tree path.
+
+The arena is the forest's serving hot path; the repo's bar for hot-path
+rewrites is *exact* equality with the reference implementation, so every
+assertion here is ``np.array_equal``, never ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PlacementModel
+from repro.core.training import build_training_set
+from repro.experiments import CANONICAL_PAIRS, training_corpus
+from repro.ml import RandomForestRegressor
+from repro.ml.arena import ARENA_STATS, ForestArena, predict_fused
+from repro.topology import amd_opteron_6272
+
+
+def _random_problem(rng, n_outputs):
+    n = int(rng.integers(30, 120))
+    d = int(rng.integers(2, 6))
+    X = rng.uniform(-2.0, 2.0, size=(n, d))
+    weights = rng.normal(size=(d, n_outputs))
+    Y = np.tanh(X @ weights) + rng.normal(scale=0.1, size=(n, n_outputs))
+    if n_outputs == 1 and rng.integers(2):
+        Y = Y[:, 0]  # exercise the squeezed 1-d target path too
+    return X, Y
+
+
+class TestArenaEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_forests_match_per_tree_exactly(self, seed):
+        """Property-based sweep: random shapes, outputs, depths, and query
+        batches — arena and per-tree predictions are identical bits."""
+        rng = np.random.default_rng(seed)
+        n_outputs = int(rng.integers(1, 5))
+        X, Y = _random_problem(rng, n_outputs)
+        forest = RandomForestRegressor(
+            n_estimators=int(rng.integers(1, 40)),
+            max_depth=int(rng.integers(2, 12)),
+            max_features="sqrt" if rng.integers(2) else None,
+            random_state=seed,
+        ).fit(X, Y)
+        for rows in (0, 1, int(rng.integers(2, 64))):
+            Q = rng.uniform(-2.5, 2.5, size=(rows, X.shape[1]))
+            assert np.array_equal(
+                forest.predict(Q), forest.predict_per_tree(Q)
+            )
+            assert np.array_equal(
+                forest.predict_std(Q), forest.predict_std_per_tree(Q)
+            )
+
+    @pytest.mark.parametrize("n_outputs", [1, 3])
+    def test_equivalence_survives_grow_and_prune(self, n_outputs):
+        rng = np.random.default_rng(7)
+        X, Y = _random_problem(rng, n_outputs)
+        forest = RandomForestRegressor(n_estimators=6, random_state=1).fit(X, Y)
+        Q = rng.uniform(-2.0, 2.0, size=(20, X.shape[1]))
+        before = forest.predict(Q).copy()
+
+        forest.grow(X, Y, 5)
+        assert np.array_equal(forest.predict(Q), forest.predict_per_tree(Q))
+        assert not np.array_equal(forest.predict(Q), before), (
+            "grow must change the ensemble (else the arena was stale)"
+        )
+        forest.prune(4)
+        assert np.array_equal(forest.predict(Q), forest.predict_per_tree(Q))
+        assert np.array_equal(
+            forest.predict_std(Q), forest.predict_std_per_tree(Q)
+        )
+
+    def test_equivalence_after_warm_refit(self):
+        machine = amd_opteron_6272()
+        corpus = training_corpus(seed=3, n_synthetic=6)
+        base = build_training_set(
+            machine, 16, corpus[:16],
+            baseline_index=CANONICAL_PAIRS[machine.name][0],
+        )
+        extended = build_training_set(
+            machine, 16, corpus,
+            baseline_index=CANONICAL_PAIRS[machine.name][0],
+        )
+        model = PlacementModel(
+            input_pair=CANONICAL_PAIRS[machine.name],
+            n_estimators=10,
+            random_state=0,
+        ).fit(base)
+        candidate = model.warm_refit(extended, n_grow=4)
+        rng = np.random.default_rng(0)
+        obs_i = rng.uniform(0.5, 2.0, size=12)
+        obs_j = rng.uniform(0.5, 2.0, size=12)
+        for m in (model, candidate):
+            features = m.batch_features(obs_i, obs_j)
+            assert np.array_equal(
+                m.predict_batch(obs_i, obs_j),
+                m.forest.predict_per_tree(features),
+            )
+
+    def test_single_predict_matches_batch_row(self):
+        rng = np.random.default_rng(2)
+        X, Y = _random_problem(rng, 2)
+        forest = RandomForestRegressor(n_estimators=9, random_state=2).fit(X, Y)
+        Q = rng.uniform(size=(5, X.shape[1]))
+        batch = forest.predict(Q)
+        for row in range(len(Q)):
+            assert np.array_equal(forest.predict(Q[row : row + 1])[0], batch[row])
+
+
+class TestArenaLifecycle:
+    def test_arena_cached_until_invalidated(self):
+        rng = np.random.default_rng(0)
+        X, Y = _random_problem(rng, 1)
+        forest = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, Y)
+        first = forest.arena()
+        assert forest.arena() is first  # cached
+        forest.grow(X, Y, 1)
+        assert forest.arena() is not first
+        second = forest.arena()
+        forest.prune(2)
+        assert forest.arena() is not second
+        third = forest.arena()
+        forest.fit(X, Y)
+        assert forest.arena() is not third
+
+    def test_trees_reassignment_invalidates(self):
+        rng = np.random.default_rng(1)
+        X, Y = _random_problem(rng, 1)
+        a = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, Y)
+        b = RandomForestRegressor(n_estimators=3, random_state=1).fit(X, Y)
+        stale = a.arena()
+        a.trees_ = list(b.trees_)
+        assert a.arena() is not stale
+        Q = rng.uniform(size=(7, X.shape[1]))
+        assert np.array_equal(a.predict(Q), b.predict_per_tree(Q))
+
+    def test_arena_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().arena()
+
+    def test_mixed_shape_trees_rejected(self):
+        rng = np.random.default_rng(3)
+        X, Y = _random_problem(rng, 1)
+        a = RandomForestRegressor(n_estimators=2, random_state=0).fit(X, Y)
+        b = RandomForestRegressor(n_estimators=2, random_state=0).fit(
+            rng.uniform(size=(30, X.shape[1] + 1)), rng.uniform(size=30)
+        )
+        with pytest.raises(ValueError, match="share feature/output shape"):
+            ForestArena(a.trees_ + b.trees_)
+
+    def test_feature_width_validated(self):
+        rng = np.random.default_rng(4)
+        X, Y = _random_problem(rng, 1)
+        forest = RandomForestRegressor(n_estimators=2, random_state=0).fit(X, Y)
+        with pytest.raises(ValueError, match="features"):
+            forest.predict(np.zeros((3, X.shape[1] + 2)))
+        with pytest.raises(ValueError, match="2-dimensional"):
+            forest.predict(np.zeros(X.shape[1]))
+
+
+class TestFusedPrediction:
+    def test_fused_groups_match_individual_forests(self):
+        """Groups with different tree counts, output widths, and row
+        counts fused into one call — each output identical to the group's
+        own forest."""
+        rng = np.random.default_rng(5)
+        plans = []
+        expected = []
+        for n_outputs, n_trees, rows in ((1, 5, 3), (3, 11, 0), (2, 7, 17)):
+            X = rng.uniform(size=(60, 4))
+            Y = rng.normal(size=(60, n_outputs))
+            if n_outputs == 1:
+                Y = Y[:, 0]
+            forest = RandomForestRegressor(
+                n_estimators=n_trees, random_state=n_outputs
+            ).fit(X, Y)
+            Q = rng.uniform(size=(rows, 4))
+            plans.append((forest, Q))
+            expected.append(forest.predict_per_tree(Q))
+        outputs = predict_fused(plans)
+        assert len(outputs) == len(plans)
+        for out, ref in zip(outputs, expected):
+            assert np.array_equal(out, ref)
+
+    def test_fused_equals_separate_arena_calls(self):
+        rng = np.random.default_rng(6)
+        forests = [
+            RandomForestRegressor(n_estimators=k + 2, random_state=k).fit(
+                rng.uniform(size=(40, 3)), rng.normal(size=(40, 2))
+            )
+            for k in range(3)
+        ]
+        Qs = [rng.uniform(size=(k + 1, 3)) for k in range(3)]
+        fused = predict_fused(list(zip(forests, Qs)))
+        for forest, Q, out in zip(forests, Qs, fused):
+            assert np.array_equal(out, forest.predict(Q))
+
+    def test_fused_cache_reused_and_stats_advance(self):
+        rng = np.random.default_rng(8)
+        forest = RandomForestRegressor(n_estimators=4, random_state=0).fit(
+            rng.uniform(size=(30, 3)), rng.normal(size=30)
+        )
+        Q = rng.uniform(size=(6, 3))
+        before = (ARENA_STATS.fused_calls, ARENA_STATS.lanes_evaluated)
+        first = predict_fused([(forest, Q)])
+        second = predict_fused([(forest, Q)])  # served by the fused cache
+        assert np.array_equal(first[0], second[0])
+        assert ARENA_STATS.fused_calls == before[0] + 2
+        assert ARENA_STATS.lanes_evaluated == before[1] + 2 * 4 * 6
+
+    def test_fused_empty_and_width_mismatch(self):
+        assert predict_fused([]) == []
+        rng = np.random.default_rng(9)
+        a = RandomForestRegressor(n_estimators=2, random_state=0).fit(
+            rng.uniform(size=(20, 3)), rng.normal(size=20)
+        )
+        b = RandomForestRegressor(n_estimators=2, random_state=0).fit(
+            rng.uniform(size=(20, 4)), rng.normal(size=20)
+        )
+        with pytest.raises(ValueError, match="feature count"):
+            predict_fused([(a, rng.uniform(size=(2, 3))),
+                           (b, rng.uniform(size=(2, 4)))])

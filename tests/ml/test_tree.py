@@ -150,3 +150,72 @@ def test_deep_tree_interpolates_training_data(seed):
     y = rng.normal(size=30)
     tree = DecisionTreeRegressor().fit(X, y)
     assert np.allclose(tree.predict(X), y)
+
+
+class TestStructureWithoutRecursion:
+    """depth / n_leaves are derived from the flattened arrays: a chain tree
+    deeper than the interpreter's recursion limit must not crash them."""
+
+    @staticmethod
+    def _chain_tree(length):
+        """A degenerate left-spine tree of ``length`` internal nodes,
+        built directly from nodes (no fit can be forced this deep)."""
+        from repro.ml.tree import _Node
+
+        leaf_value = np.array([0.0])
+        node = _Node(value=leaf_value, impurity=0.0, n_samples=1)
+        for level in range(length):
+            parent = _Node(
+                value=leaf_value,
+                impurity=1.0,
+                n_samples=2,
+                feature=0,
+                threshold=float(level),
+                left=node,
+                right=_Node(value=leaf_value, impurity=0.0, n_samples=1),
+            )
+            node = parent
+        tree = DecisionTreeRegressor()
+        tree._root = node
+        tree._n_features = 1
+        tree._n_outputs = 1
+        tree._y_was_1d = True
+        tree._flat = None
+        return tree
+
+    def test_deeper_than_recursion_limit(self):
+        import sys
+
+        length = sys.getrecursionlimit() + 500
+        tree = self._chain_tree(length)
+        assert tree.depth == length
+        assert tree.n_leaves == length + 1
+
+    def test_matches_known_small_trees(self):
+        tree = self._chain_tree(3)
+        assert tree.depth == 3
+        assert tree.n_leaves == 4
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 3))
+        y = np.sin(X @ np.ones(3))
+        fitted = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        # Cross-check against an explicit recursive walk.
+        def walk_depth(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk_depth(node.left), walk_depth(node.right))
+
+        def walk_leaves(node):
+            if node.is_leaf:
+                return 1
+            return walk_leaves(node.left) + walk_leaves(node.right)
+
+        assert fitted.depth == walk_depth(fitted._root)
+        assert fitted.n_leaves == walk_leaves(fitted._root)
+
+    def test_unfitted_raises(self):
+        tree = DecisionTreeRegressor()
+        with pytest.raises(RuntimeError):
+            tree.depth
+        with pytest.raises(RuntimeError):
+            tree.n_leaves

@@ -355,12 +355,22 @@ class TestGradingIpcMemo:
         simulator = registry.simulator(machine)
         calls = {"n": 0}
         original = type(simulator).measured_ipc
+        original_batch = type(simulator).measured_ipc_batch
 
         def counting(self, *args, **kwargs):
             calls["n"] += 1
             return original(self, *args, **kwargs)
 
+        def counting_batch(self, profiles, placements, *args, **kwargs):
+            # Probe misses are simulated through the batched kernel, one
+            # grid cell per (profile, placement) the memo lacked.
+            calls["n"] += len(profiles) * len(placements)
+            return original_batch(self, profiles, placements, *args, **kwargs)
+
         monkeypatch.setattr(type(simulator), "measured_ipc", counting)
+        monkeypatch.setattr(
+            type(simulator), "measured_ipc_batch", counting_batch
+        )
         requests = generate_request_stream(
             30, seed=4, vcpus_choices=(8,), goal_choices=(0.9,)
         )

@@ -128,8 +128,58 @@ class TestGoalAwarePolicy:
         policy = GoalAwareFleetPolicy(registry)
         requests = [_request(k, vcpus=16) for k in range(1, 9)]
         policy.decide_batch(requests, fleet)
-        assert policy.predict_calls == 1  # one shape, one vcpu size
+        assert policy.predict_calls == 1
         assert policy.predicted_rows == len(requests)
+
+    def test_one_fused_forest_call_per_batch(self, registry):
+        """A batch spanning several (shape, vcpus) keys — several distinct
+        models — still costs exactly one fused forest call."""
+        from repro.ml.arena import ARENA_STATS
+
+        fleet = Fleet.mixed(
+            [(amd_opteron_6272(), 2), (intel_xeon_e7_4830_v3(), 2)]
+        )
+        policy = GoalAwareFleetPolicy(registry)
+        requests = [
+            _request(k, vcpus=8 if k % 2 else 16) for k in range(1, 9)
+        ]
+        before = ARENA_STATS.fused_calls
+        policy.decide_batch(requests, fleet)
+        assert policy.predict_calls == 1
+        assert policy.predicted_rows == 2 * len(requests), (
+            "every request is predicted once per hosting shape"
+        )
+        assert ARENA_STATS.fused_calls == before + 1
+
+    def test_target_cache_lru_eviction(self, registry):
+        policy = GoalAwareFleetPolicy(registry)
+        policy._target_cache_max = 3
+
+        class _FakeSet:
+            """Concern-free stand-in with the attributes the scorer needs."""
+
+            class _Concerns:
+                bandwidth_concern = None
+
+            concerns = _Concerns()
+
+            def __iter__(self):
+                return iter(())
+
+        sets = [_FakeSet() for _ in range(5)]
+        for s in sets:
+            policy._scorer_and_targets(s)
+        assert len(policy._target_cache) == 3
+        # Newest three survive, oldest two were evicted.
+        assert id(sets[0]) not in policy._target_cache
+        assert id(sets[1]) not in policy._target_cache
+        assert id(sets[4]) in policy._target_cache
+        # A hit refreshes recency: touch sets[2], insert a new set, and
+        # sets[3] (now the stalest) is the one evicted.
+        policy._scorer_and_targets(sets[2])
+        policy._scorer_and_targets(_FakeSet())
+        assert id(sets[2]) in policy._target_cache
+        assert id(sets[3]) not in policy._target_cache
 
     def test_goal_bearing_prefers_cheap_placements(self, registry):
         fleet = Fleet.homogeneous(amd_opteron_6272(), 1)

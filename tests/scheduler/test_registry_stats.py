@@ -112,3 +112,74 @@ class TestMemoStatsUnderMigrationChurn:
             memoized.ipc_cache_info().misses
             < unmemoized.ipc_cache_info().misses
         )
+
+
+class TestProbeIpcBatch:
+    """The vectorized probe helper must be bit-for-bit (values *and*
+    accounting) equal to per-request probe_ipc calls."""
+
+    def _setup(self):
+        from repro.perfsim import workload_by_name
+
+        machine = amd_opteron_6272()
+        registry = ModelRegistry(n_estimators=4, n_synthetic=2, seed=0)
+        placements = registry.placements(machine, 16)
+        profiles = [
+            workload_by_name(name)
+            for name in ("gcc", "WTbtree", "gcc", "kmeans", "WTbtree")
+        ]
+        return machine, registry, placements[0], profiles
+
+    def test_values_and_accounting_match_sequential(self):
+        machine, registry, placement, profiles = self._setup()
+        repetitions = [3, 4, 5, 6, 7]
+        batch = registry.probe_ipc_batch(
+            machine, profiles, placement, duration_s=3.0,
+            repetitions=repetitions,
+        )
+        batch_info = registry.ipc_cache_info()
+
+        sequential_registry = ModelRegistry(
+            n_estimators=4, n_synthetic=2, seed=0
+        )
+        sequential = [
+            sequential_registry.probe_ipc(
+                machine, profile, placement, duration_s=3.0,
+                repetition=repetition,
+            )
+            for profile, repetition in zip(profiles, repetitions)
+        ]
+        assert list(batch) == sequential
+        sequential_info = sequential_registry.ipc_cache_info()
+        assert batch_info.hits == sequential_info.hits
+        assert batch_info.misses == sequential_info.misses
+
+    def test_unmemoized_path_matches(self):
+        from repro.perfsim import workload_by_name
+
+        machine = amd_opteron_6272()
+        registry = ModelRegistry(
+            n_estimators=4, n_synthetic=2, seed=0, memoize_ipc=False
+        )
+        placement = registry.placements(machine, 16)[0]
+        profiles = [workload_by_name("gcc"), workload_by_name("WTbtree")]
+        batch = registry.probe_ipc_batch(
+            machine, profiles, placement, duration_s=3.0, repetitions=[1, 2]
+        )
+        expected = [
+            registry.simulator(machine).measured_ipc(
+                profile, placement, duration_s=3.0, repetition=repetition
+            )
+            for profile, repetition in zip(profiles, [1, 2])
+        ]
+        assert list(batch) == expected
+
+    def test_misaligned_inputs_rejected(self):
+        import pytest
+
+        machine, registry, placement, profiles = self._setup()
+        with pytest.raises(ValueError, match="align"):
+            registry.probe_ipc_batch(
+                machine, profiles, placement, duration_s=3.0,
+                repetitions=[1],
+            )
