@@ -33,9 +33,9 @@ from conftest import record_bench
 from repro.scheduler import (
     Fleet,
     FleetScheduler,
-    GoalAwareFleetPolicy,
     ModelRegistry,
     generate_request_stream,
+    make_policy,
 )
 from repro.topology import amd_opteron_6272
 
@@ -84,7 +84,7 @@ def _run(
         fleet = Fleet.homogeneous(amd_opteron_6272(), n_hosts)
         scheduler = FleetScheduler(
             fleet,
-            GoalAwareFleetPolicy(registry, indexed=indexed),
+            make_policy("ml", registry=registry, indexed=indexed),
             registry=registry,
             batch_size=batch_size,
         )

@@ -17,13 +17,12 @@ Run:  python examples/fleet_scheduling.py
 """
 
 from repro.scheduler import (
-    FirstFitFleetPolicy,
+    POLICIES,
     Fleet,
     FleetScheduler,
-    GoalAwareFleetPolicy,
     ModelRegistry,
-    SpreadFleetPolicy,
     generate_request_stream,
+    make_policy,
 )
 from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
 
@@ -45,11 +44,12 @@ def main() -> None:
     print()
 
     registry = ModelRegistry(seed=3)
-    for policy in (
-        GoalAwareFleetPolicy(registry),
-        FirstFitFleetPolicy(),
-        SpreadFleetPolicy(),
-    ):
+    # Every registered policy through the one factory the CLI and the
+    # sharded service also use — a new policy added to POLICIES shows up
+    # here with no further wiring.
+    for name in ("ml", "first-fit", "spread"):
+        assert name in POLICIES
+        policy = make_policy(name, registry=registry)
         scheduler = FleetScheduler(
             build_fleet(), policy, registry=registry, batch_size=32
         )

@@ -169,83 +169,28 @@ def cmd_policies(args) -> int:
     return 0
 
 
-def cmd_schedule(args) -> int:
-    from repro.scheduler import (
-        FirstFitFleetPolicy,
-        Fleet,
-        FleetScheduler,
-        GoalAwareFleetPolicy,
-        LifecycleScheduler,
-        ModelRegistry,
-        RebalanceConfig,
-        SpreadFleetPolicy,
-        drift_phase_schedule,
-        generate_churn_stream,
-        generate_request_stream,
-    )
-
-    if args.online_learning:
-        # Online learning is a property of the event-driven engine: the
-        # loop closes on *observed* placements over time.
-        args.churn = True
-        if args.policy != "ml":
-            raise SystemExit(
-                "--online-learning needs --policy ml (heuristic policies "
-                "make no predictions to retrain on)"
-            )
-        if args.naive:
-            raise SystemExit(
-                "--online-learning needs the memoized registry "
-                "(drop --naive)"
-            )
-    if args.phase_shift and not args.churn:
-        raise SystemExit(
-            "--phase-shift applies to churn streams; add --churn "
-            "(or --online-learning)"
-        )
-    if args.drift_threshold is not None and args.drift_threshold <= 0:
-        raise SystemExit("--drift-threshold must be positive")
+def _schedule_config(args):
+    from repro.scheduler import ScheduleConfig
 
     try:
-        vcpus_choices = tuple(
-            int(v) for v in args.vcpus.split(",") if v.strip()
-        )
-    except ValueError:
-        raise SystemExit(f"--vcpus must be a comma-separated int list, got {args.vcpus!r}")
-    if not vcpus_choices:
-        raise SystemExit("--vcpus must name at least one container size")
-    if any(v < 1 for v in vcpus_choices):
-        raise SystemExit("--vcpus sizes must be >= 1")
-    if args.hosts < 1:
-        raise SystemExit("--hosts must be >= 1")
-    if args.requests < 1:
-        raise SystemExit("--requests must be >= 1")
-    if args.batch_size is not None and args.batch_size < 1:
-        raise SystemExit("--batch-size must be >= 1")
-    if args.churn and args.batch_size is not None:
-        raise SystemExit(
-            "--batch-size applies to the one-shot scheduler; the lifecycle "
-            "engine decides one event at a time"
-        )
+        return ScheduleConfig.from_args(args)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def cmd_schedule(args) -> int:
+    from repro.scheduler import (
+        FleetScheduler,
+        LifecycleScheduler,
+        RebalanceConfig,
+    )
+
     if args.trace < 0:
         raise SystemExit("--trace must be >= 0")
-    if args.arrival_rate <= 0:
-        raise SystemExit("--arrival-rate must be positive")
-    if args.mean_lifetime <= 0:
-        raise SystemExit("--mean-lifetime must be positive")
-    if args.penalty_seconds <= 0:
-        raise SystemExit("--penalty-seconds must be positive")
+    config = _schedule_config(args)
 
-    if args.machine == "mixed":
-        half = args.hosts // 2
-        fleet = Fleet.mixed(
-            [(_machine("amd"), args.hosts - half), (_machine("intel"), half)]
-        )
-    else:
-        fleet = Fleet.homogeneous(_machine(args.machine), args.hosts)
-
-    indexed = not (args.naive or args.linear_scan)
-    if args.online_learning:
+    fleet = config.build_fleet()
+    if config.online_learning:
         from repro.serving import (
             DriftConfig,
             ModelServer,
@@ -253,62 +198,41 @@ def cmd_schedule(args) -> int:
             OnlineLearningConfig,
         )
 
-        registry = ModelServer(seed=args.seed)
+        registry = ModelServer(seed=config.seed)
         drift = (
-            DriftConfig(threshold_pct=args.drift_threshold)
-            if args.drift_threshold is not None
+            DriftConfig(threshold_pct=config.drift_threshold)
+            if config.drift_threshold is not None
             else DriftConfig()
         )
         learner = OnlineLearner(registry, OnlineLearningConfig(drift=drift))
     else:
-        registry = ModelRegistry(
-            seed=args.seed,
-            memoize_enumeration=not args.naive,
-            memoize_ipc=not args.naive,
-        )
+        registry = config.build_registry()
         learner = None
-    if args.policy == "ml":
-        policy = GoalAwareFleetPolicy(registry, indexed=indexed)
-    elif args.policy == "first-fit":
-        policy = FirstFitFleetPolicy(indexed=indexed)
-    else:
-        policy = SpreadFleetPolicy(indexed=indexed)
+    policy = config.build_policy(registry)
+    requests = config.build_stream()
 
-    if args.churn:
-        requests = generate_churn_stream(
-            args.requests,
-            seed=args.seed,
-            vcpus_choices=vcpus_choices,
-            arrival_rate=args.arrival_rate,
-            mean_lifetime=args.mean_lifetime,
-            heavy_tail=args.heavy_tail,
-            phases=drift_phase_schedule() if args.phase_shift else None,
-        )
+    if config.churn:
         engine = LifecycleScheduler(
             fleet,
             policy,
             registry=registry,
             config=RebalanceConfig(
-                enabled=not args.no_rebalance,
-                reject_penalty_seconds=args.penalty_seconds,
+                enabled=config.rebalance_enabled,
+                reject_penalty_seconds=config.penalty_seconds,
             ),
             online=learner,
         )
         report = engine.run(requests)
     else:
-        requests = generate_request_stream(
-            args.requests, seed=args.seed, vcpus_choices=vcpus_choices
-        )
-        batch_size = 64 if args.batch_size is None else args.batch_size
         scheduler = FleetScheduler(
             fleet,
             policy,
             registry=registry,
-            batch_size=1 if args.naive else batch_size,
+            batch_size=config.effective_batch_size,
         )
         report = scheduler.run(requests)
     print(report.describe())
-    if args.online_learning:
+    if config.online_learning:
         print()
         print(registry.describe_chains())
     if args.trace:
@@ -319,6 +243,28 @@ def cmd_schedule(args) -> int:
             print()
             for record in report.churn.migrations[: args.trace]:
                 print(f"  {record.describe()}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import json as json_module
+
+    from repro.scheduler import SchedulerService
+
+    config = _schedule_config(args)
+    try:
+        with SchedulerService(config) as service:
+            report = service.serve()
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.emit_json:
+        print(
+            json_module.dumps(
+                report.to_dict(include_decisions=False), indent=2
+            )
+        )
+    else:
+        print(report.describe())
     return 0
 
 
@@ -394,124 +340,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default=None)
     p.set_defaults(func=cmd_migrate_plan)
 
+    from repro.scheduler.config import add_schedule_arguments
+
     p = sub.add_parser(
         "schedule",
         help="place a request stream across a simulated fleet",
         parents=[seed_parent],
     )
-    p.add_argument(
-        "--machine",
-        default="amd",
-        choices=sorted(MACHINES) + ["mixed"],
-        help="host shape, or 'mixed' for a half-AMD/half-Intel fleet",
-    )
-    p.add_argument("--hosts", type=int, default=128)
-    p.add_argument("--requests", type=int, default=500)
-    p.add_argument(
-        "--policy", default="ml", choices=["ml", "first-fit", "spread"]
-    )
-    p.add_argument(
-        "--vcpus",
-        default="8,16",
-        help="comma-separated container sizes to sample (default 8,16)",
-    )
-    p.add_argument(
-        "--batch-size",
-        type=int,
-        default=None,
-        help="requests decided per policy call (one-shot mode only; "
-        "default 64)",
-    )
-    p.add_argument(
-        "--naive",
-        action="store_true",
-        help="disable every scale optimization: enumeration memo cache, "
-        "batched prediction, fleet index, block-score tables, and the "
-        "grading IPC memo (the per-request baseline the benchmark "
-        "compares against)",
-    )
-    p.add_argument(
-        "--linear-scan",
-        action="store_true",
-        help="keep the caches but scan all hosts per request instead of "
-        "querying the incremental fleet index (the pre-index baseline; "
-        "decisions are identical, only slower)",
-    )
-    p.add_argument(
-        "--trace",
-        type=int,
-        default=0,
-        metavar="N",
-        help="also print the first N per-request decision traces "
-        "(and, with --churn, the first N migration traces)",
-    )
-    churn = p.add_argument_group(
-        "churn options", "dynamic lifecycle simulation (--churn)"
-    )
-    churn.add_argument(
-        "--churn",
-        action="store_true",
-        help="run the event-driven lifecycle engine: Poisson arrivals "
-        "with lifetimes, departures, fragmentation tracking, and "
-        "migration-driven rebalancing",
-    )
-    churn.add_argument(
-        "--arrival-rate",
-        type=float,
-        default=1.0,
-        help="mean container arrivals per simulated second (default 1.0)",
-    )
-    churn.add_argument(
-        "--mean-lifetime",
-        type=float,
-        default=60.0,
-        help="mean container lifetime in simulated seconds (default 60)",
-    )
-    churn.add_argument(
-        "--heavy-tail",
-        action="store_true",
-        help="draw lifetimes from a heavy-tailed Pareto instead of an "
-        "exponential (same mean; a few containers pin nodes for ages)",
-    )
-    churn.add_argument(
-        "--no-rebalance",
-        action="store_true",
-        help="disable the fragmentation-triggered migration rebalancer "
-        "(the no-migration baseline)",
-    )
-    churn.add_argument(
-        "--penalty-seconds",
-        type=float,
-        default=120.0,
-        help="migration-time budget the rebalancer may spend to recover "
-        "one rejected request (default 120)",
-    )
-    online = p.add_argument_group(
-        "online learning options",
-        "closed-loop model lifecycle (--online-learning, implies --churn)",
-    )
-    online.add_argument(
-        "--online-learning",
-        action="store_true",
-        help="close the serving loop: trace every graded ML placement, "
-        "retrain on rolling-MAPE drift, shadow candidates against the "
-        "incumbent, and promote through the holdout gate",
-    )
-    online.add_argument(
-        "--phase-shift",
-        action="store_true",
-        help="apply the canonical mid-stream workload-mix shift (the "
-        "drift scenario a frozen model degrades on)",
-    )
-    online.add_argument(
-        "--drift-threshold",
-        type=float,
-        default=None,
-        metavar="PCT",
-        help="rolling MAPE (percent) above which a partition counts as "
-        "drifted (default 12)",
-    )
+    add_schedule_arguments(p)
     p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sharded scheduler service over a churn stream",
+        parents=[seed_parent],
+    )
+    add_schedule_arguments(p, serve=True)
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -36,6 +36,32 @@ class CacheInfo:
     misses: int
     currsize: int
 
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "currsize": self.currsize,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CacheInfo":
+        return cls(
+            hits=data["hits"],
+            misses=data["misses"],
+            currsize=data["currsize"],
+        )
+
+    def __add__(self, other: "CacheInfo") -> "CacheInfo":
+        """Merge two caches' accounting (the sharded service sums its
+        workers' per-shard counters into one fleet-level snapshot)."""
+        if not isinstance(other, CacheInfo):
+            return NotImplemented
+        return CacheInfo(
+            self.hits + other.hits,
+            self.misses + other.misses,
+            self.currsize + other.currsize,
+        )
+
 
 class EnumerationCache:
     """Topology-fingerprint-keyed memo cache for placement enumeration.

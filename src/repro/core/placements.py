@@ -202,6 +202,41 @@ class Placement:
         )
 
     # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe identity of this placement.
+
+        The machine travels by *name*: topologies are process-local
+        constants, and every field the placement's equality checks is in
+        the payload (``l3_groups_per_node`` serializes resolved, never
+        None, so the round-trip is exact even when the constructor
+        defaulted it).
+        """
+        return {
+            "machine": self._machine.name,
+            "nodes": list(self._nodes),
+            "vcpus": self._vcpus,
+            "l2_share": self._l2_share,
+            "l3_groups_per_node": self._l3_groups_per_node,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, machines) -> "Placement":
+        """Inverse of :meth:`to_dict`; ``machines`` maps name -> topology
+        (see :func:`repro.core.serialize.machines_by_name`)."""
+        from repro.core.serialize import resolve_machine
+
+        return cls(
+            resolve_machine(data["machine"], machines),
+            data["nodes"],
+            data["vcpus"],
+            l2_share=data["l2_share"],
+            l3_groups_per_node=data["l3_groups_per_node"],
+        )
+
+    # ------------------------------------------------------------------
     # Derived structure
     # ------------------------------------------------------------------
 

@@ -1,0 +1,74 @@
+"""Shared helpers for the wire surface (``to_dict`` / ``from_dict``).
+
+The scheduler's serializable types only use JSON-safe values: strings,
+ints, floats, bools, None, lists, and dicts.  Python round-trips floats
+exactly through ``json`` (``float(repr(x)) == x``), so a dict that has
+been through ``json.dumps``/``loads`` reconstructs bit-for-bit equal
+objects — the property the shard <-> front-end protocol and the
+round-trip tests rely on.
+
+Two conversions recur everywhere and live here:
+
+* tuples (machine fingerprints, node blocks, timeline entries) become
+  JSON lists and must be re-tupled — recursively, because fingerprints
+  nest (the interconnect signature is a tuple of tuples);
+* :class:`~repro.topology.machine.MachineTopology` objects are referenced
+  *by name* on the wire.  Topologies are process-local constants (every
+  fleet participant builds them from the same presets), so shipping the
+  name and resolving it against a name -> machine mapping keeps payloads
+  small and guarantees both sides use the identical, memo-shared object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.topology.machine import MachineTopology
+
+
+def tupled(value):
+    """Recursively convert lists (JSON's tuple stand-in) back to tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(tupled(item) for item in value)
+    return value
+
+
+def listed(value):
+    """Recursively convert tuples to lists (JSON-encodable form)."""
+    if isinstance(value, (list, tuple)):
+        return [listed(item) for item in value]
+    return value
+
+
+def machines_by_name(
+    machines: Iterable[MachineTopology],
+) -> Dict[str, MachineTopology]:
+    """Name -> topology resolver for ``from_dict`` calls.
+
+    Machine identity in this repository is the name (placements and
+    simulators check it; the fingerprint includes it), so two entries
+    sharing a name must be the same shape — passing structurally
+    different machines under one name is a caller bug worth failing on.
+    """
+    resolved: Dict[str, MachineTopology] = {}
+    for machine in machines:
+        existing = resolved.get(machine.name)
+        if existing is None:
+            resolved[machine.name] = machine
+        elif existing.fingerprint() != machine.fingerprint():
+            raise ValueError(
+                f"two different machine shapes named {machine.name!r}"
+            )
+    return resolved
+
+
+def resolve_machine(
+    name: str, machines: Mapping[str, MachineTopology]
+) -> MachineTopology:
+    try:
+        return machines[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r} on the wire; known: "
+            f"{', '.join(sorted(machines)) or '(none)'}"
+        )

@@ -145,7 +145,9 @@ class WorkloadProfile:
         return self.memory_gb * self.page_cache_fraction
 
     def as_dict(self) -> Dict[str, float | int | str]:
-        """Flat dictionary (useful for tabular reports)."""
+        """Flat dictionary (tabular reports, and the wire format:
+        ``WorkloadProfile(**d)`` / :meth:`from_dict` reconstructs an equal
+        profile — every field is a JSON-safe scalar)."""
         return {
             "name": self.name,
             "ipc_base": self.ipc_base,
@@ -163,4 +165,10 @@ class WorkloadProfile:
             "page_cache_fraction": self.page_cache_fraction,
             "n_tasks": self.n_tasks,
             "n_processes": self.n_processes,
+            "metric_name": self.metric_name,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WorkloadProfile":
+        """Inverse of :meth:`as_dict` (validation re-runs in __init__)."""
+        return cls(**data)

@@ -18,6 +18,7 @@ fragmentation tracking, and a migration-driven rebalancer that consults
 :class:`repro.migration.planner.MigrationPlanner` before moving anything.
 """
 
+from repro.scheduler.config import ScheduleConfig, add_schedule_arguments
 from repro.scheduler.events import (
     EventKind,
     EventQueue,
@@ -42,11 +43,13 @@ from repro.scheduler.lifecycle import (
     RebalanceConfig,
 )
 from repro.scheduler.policies import (
+    POLICIES,
     FirstFitFleetPolicy,
     FleetDecision,
     FleetPolicy,
     GoalAwareFleetPolicy,
     SpreadFleetPolicy,
+    make_policy,
 )
 from repro.scheduler.registry import ModelRegistry
 from repro.scheduler.requests import (
@@ -62,8 +65,30 @@ from repro.scheduler.scheduler import (
     GradedDecision,
     grade_decision,
 )
+from repro.scheduler.service import (
+    SchedulerService,
+    ServiceStats,
+    merge_churn_stats,
+)
+from repro.scheduler.shard import (
+    InlineShardClient,
+    ProcessShardClient,
+    ShardSummary,
+    ShardWorker,
+)
 
 __all__ = [
+    "add_schedule_arguments",
+    "InlineShardClient",
+    "make_policy",
+    "merge_churn_stats",
+    "POLICIES",
+    "ProcessShardClient",
+    "ScheduleConfig",
+    "SchedulerService",
+    "ServiceStats",
+    "ShardSummary",
+    "ShardWorker",
     "ArrivalPhase",
     "ChurnStats",
     "drift_phase_schedule",

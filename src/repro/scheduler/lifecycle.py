@@ -69,6 +69,19 @@ class FragmentationSample:
     #: Cumulative capacity rejections (after any rebalance retry) so far.
     fit_failures: int
 
+    def to_dict(self) -> Dict:
+        return {
+            "time": self.time,
+            "free_nodes_total": self.free_nodes_total,
+            "largest_free_block": self.largest_free_block,
+            "active_containers": self.active_containers,
+            "fit_failures": self.fit_failures,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FragmentationSample":
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class MigrationRecord:
@@ -93,6 +106,23 @@ class MigrationRecord:
             f"via {self.engine}: {self.moved_gb:.1f} GB in "
             f"{self.seconds:.1f}s (for req#{self.triggered_by})"
         )
+
+    def to_dict(self) -> Dict:
+        return {
+            "time": self.time,
+            "request_id": self.request_id,
+            "workload": self.workload,
+            "source_host": self.source_host,
+            "dest_host": self.dest_host,
+            "engine": self.engine,
+            "seconds": self.seconds,
+            "moved_gb": self.moved_gb,
+            "triggered_by": self.triggered_by,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MigrationRecord":
+        return cls(**data)
 
 
 @dataclass
@@ -153,6 +183,38 @@ class ChurnStats:
                 f"nodes, {last.active_containers} containers active"
             )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "arrivals": self.arrivals,
+            "departures": self.departures,
+            "migrations": [m.to_dict() for m in self.migrations],
+            "rebalance_attempts": self.rebalance_attempts,
+            "rebalance_recovered": self.rebalance_recovered,
+            "fragmentation_timeline": [
+                s.to_dict() for s in self.fragmentation_timeline
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChurnStats":
+        return cls(
+            arrivals=data["arrivals"],
+            departures=data["departures"],
+            migrations=[
+                MigrationRecord.from_dict(m) for m in data["migrations"]
+            ],
+            rebalance_attempts=data["rebalance_attempts"],
+            rebalance_recovered=data["rebalance_recovered"],
+            fragmentation_timeline=[
+                FragmentationSample.from_dict(s)
+                for s in data["fragmentation_timeline"]
+            ],
+        )
 
 
 @dataclass(frozen=True)
@@ -254,61 +316,159 @@ class LifecycleScheduler:
                     f"policy's ({policy_probe})"
                 )
         #: Requests currently running (id -> request), the profile source
-        #: for migration pricing and the departure filter.
+        #: for migration pricing and the departure filter.  Deliberately
+        #: *not* reset by :meth:`begin`: containers placed by an earlier
+        #: run stay live on the fleet, and the rebalancer needs their
+        #: profiles to price moving them.
         self._active: Dict[int, PlacementRequest] = {}
-        #: Graded entries by request id, so a migration can re-grade the
-        #: container it moved (the report must describe the final fleet).
-        self._graded_by_id: Dict[int, GradedDecision] = {}
+        self.begin()
 
     # ------------------------------------------------------------------
     # Event loop
     # ------------------------------------------------------------------
 
-    def run(self, requests: Sequence[PlacementRequest]) -> FleetReport:
-        """Replay the stream's events in time order; report with churn
-        statistics attached."""
-        start = time.perf_counter()
-        stats = ChurnStats()
-        graded: List[GradedDecision] = []
-        self._graded_by_id = {}
+    def begin(self) -> None:
+        """Reset the per-run accumulators (stats, graded decisions).
+
+        :meth:`run` calls this itself; incremental drivers — the sharded
+        service's workers feed events one batch at a time — call it once,
+        then :meth:`step` / :meth:`step_batch` per event, then
+        :meth:`collect_report`.
+        """
+        self.stats = ChurnStats()
+        self.graded: List[GradedDecision] = []
+        self._graded_by_id: Dict[int, GradedDecision] = {}
         # Every value the per-event fragmentation sample needs is an O(1)
         # counter on the fleet index (kept fresh by host allocate/release
-        # bookkeeping, migrations included) — the sample no longer pays a
+        # bookkeeping, migrations included) — the sample never pays a
         # full-fleet sum per event.  Fit failures are counted on the index
         # too; the snapshot keeps a re-used fleet's timeline starting at 0.
-        index = self.fleet.index
-        fit_failures_before = index.fit_failures
-        for event in events_from_requests(requests).drain():
-            if event.kind is EventKind.ARRIVAL:
-                entry = self._handle_arrival(event, stats)
-                graded.append(entry)
-                if not entry.decision.placed and (
-                    entry.decision.reject_reason == "capacity"
-                ):
-                    index.record_fit_failure()
-            else:
-                self._handle_departure(event, stats)
-            stats.fragmentation_timeline.append(
-                FragmentationSample(
-                    time=event.time,
-                    free_nodes_total=index.free_nodes_total,
-                    largest_free_block=index.largest_free_block,
-                    active_containers=len(self._active),
-                    fit_failures=index.fit_failures - fit_failures_before,
-                )
-            )
-        elapsed = time.perf_counter() - start
+        self._fit_failures_before = self.fleet.index.fit_failures
 
+    def step(self, event: LifecycleEvent) -> GradedDecision | None:
+        """Process one event; returns the graded decision for arrivals
+        (appended to :attr:`graded`), None for departures."""
+        entry = None
+        if event.kind is EventKind.ARRIVAL:
+            entry = self._handle_arrival(event, self.stats)
+            self.graded.append(entry)
+            if not entry.decision.placed and (
+                entry.decision.reject_reason == "capacity"
+            ):
+                self.fleet.index.record_fit_failure()
+        else:
+            self._handle_departure(event, self.stats)
+        self._sample(event.time)
+        return entry
+
+    def depart(self, request_id: int, event_time: float) -> None:
+        """Process a departure by request id — :meth:`step`'s departure
+        arm without the event envelope.  A departure needs nothing but
+        the id (releasing an unknown or rejected id is a no-op), so the
+        sharded service's wire format ships ``[id, time]`` pairs instead
+        of full request payloads."""
+        if self._active.pop(request_id, None) is not None:
+            self.fleet.release(request_id)
+            self.stats.departures += 1
+        self._sample(event_time)
+
+    def step_batch(
+        self, events: Sequence[LifecycleEvent]
+    ) -> List[GradedDecision]:
+        """Decide a window of consecutive arrivals in one policy batch.
+
+        The sharded service batches arrivals per shard so the goal-aware
+        policy's fused prediction amortizes across the window.  A window
+        of one is bit-identical to :meth:`step`; larger windows trade
+        strict time order *inside the window* for batching (all window
+        decisions allocate before any rebalance retry runs), exactly like
+        the one-shot scheduler's batches.
+        """
+        if any(e.kind is not EventKind.ARRIVAL for e in events):
+            raise ValueError("step_batch handles arrival events only")
+        if len(events) == 1:
+            return [self.step(events[0])]
+        stats = self.stats
+        stats.arrivals += len(events)
+        requests = [event.request for event in events]
+        decide_start = time.perf_counter()
+        decisions = self.policy.decide_batch(requests, self.fleet)
+        per_request = (time.perf_counter() - decide_start) / len(events)
+        entries: List[GradedDecision] = []
+        for event, decision in zip(events, decisions):
+            retry_start = time.perf_counter()
+            if (
+                not decision.placed
+                and decision.reject_reason == "capacity"
+                and self.config.enabled
+            ):
+                plan = self._plan_rebalance(event.request)
+                if plan:
+                    stats.rebalance_attempts += 1
+                    stats.migrations.extend(self._execute_plan(plan, event))
+                    retry = self.policy.decide(event.request, self.fleet)
+                    if retry.placed:
+                        stats.rebalance_recovered += 1
+                        decision = retry
+            decide_seconds = per_request + (
+                time.perf_counter() - retry_start
+            )
+            entry = grade_decision(decision, self.fleet, self.registry)
+            entry.decision_seconds = decide_seconds
+            if decision.placed:
+                self._active[event.request.request_id] = event.request
+                self._graded_by_id[event.request.request_id] = entry
+                if self.online is not None:
+                    self.online.observe(
+                        self.fleet.hosts[decision.host_id].machine,
+                        entry,
+                        event.time,
+                    )
+            self.graded.append(entry)
+            if not entry.decision.placed and (
+                entry.decision.reject_reason == "capacity"
+            ):
+                self.fleet.index.record_fit_failure()
+            self._sample(event.time)
+            entries.append(entry)
+        return entries
+
+    def _sample(self, event_time: float) -> None:
+        index = self.fleet.index
+        self.stats.fragmentation_timeline.append(
+            FragmentationSample(
+                time=event_time,
+                free_nodes_total=index.free_nodes_total,
+                largest_free_block=index.largest_free_block,
+                active_containers=len(self._active),
+                fit_failures=index.fit_failures - self._fit_failures_before,
+            )
+        )
+
+    def collect_report(
+        self, n_requests: int, elapsed_seconds: float
+    ) -> FleetReport:
+        """Fold the accumulated decisions and stats into a FleetReport."""
         return FleetReport.collect(
             policy=self.policy,
             fleet=self.fleet,
             registry=self.registry,
-            n_requests=len(requests),
-            decisions=graded,
-            elapsed_seconds=elapsed,
-            churn=stats,
+            n_requests=n_requests,
+            decisions=self.graded,
+            elapsed_seconds=elapsed_seconds,
+            churn=self.stats,
             online=self.online.stats if self.online is not None else None,
         )
+
+    def run(self, requests: Sequence[PlacementRequest]) -> FleetReport:
+        """Replay the stream's events in time order; report with churn
+        statistics attached."""
+        start = time.perf_counter()
+        self.begin()
+        for event in events_from_requests(requests).drain():
+            self.step(event)
+        elapsed = time.perf_counter() - start
+        return self.collect_report(len(requests), elapsed)
 
     def _handle_arrival(
         self, event: LifecycleEvent, stats: ChurnStats
@@ -316,7 +476,7 @@ class LifecycleScheduler:
         stats.arrivals += 1
         request = event.request
         decide_start = time.perf_counter()
-        decision = self.policy.decide_batch([request], self.fleet)[0]
+        decision = self.policy.decide(request, self.fleet)
         if (
             not decision.placed
             and decision.reject_reason == "capacity"
@@ -326,7 +486,7 @@ class LifecycleScheduler:
             if plan:
                 stats.rebalance_attempts += 1
                 stats.migrations.extend(self._execute_plan(plan, event))
-                retry = self.policy.decide_batch([request], self.fleet)[0]
+                retry = self.policy.decide(request, self.fleet)
                 if retry.placed:
                     stats.rebalance_recovered += 1
                     decision = retry

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import abc
 import heapq
+import inspect
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence, Tuple
 
@@ -86,9 +87,51 @@ class FleetDecision:
             parts.append("score-mismatched block")
         return f"{self.request.describe()} -> {', '.join(parts)}"
 
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe decision trace (the shard <-> front-end payload)."""
+        return {
+            "request": self.request.to_dict(),
+            "host_id": self.host_id,
+            "placement": (
+                None if self.placement is None else self.placement.to_dict()
+            ),
+            "placement_id": self.placement_id,
+            "predicted_relative": self.predicted_relative,
+            "block_exact": self.block_exact,
+            "reject_reason": self.reject_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict, machines) -> "FleetDecision":
+        """Inverse of :meth:`to_dict`; ``machines`` maps name -> topology
+        for placement reconstruction."""
+        placement = data["placement"]
+        return cls(
+            request=PlacementRequest.from_dict(data["request"]),
+            host_id=data["host_id"],
+            placement=(
+                None
+                if placement is None
+                else Placement.from_dict(placement, machines)
+            ),
+            placement_id=data["placement_id"],
+            predicted_relative=data["predicted_relative"],
+            block_exact=data["block_exact"],
+            reject_reason=data["reject_reason"],
+        )
+
 
 class FleetPolicy(abc.ABC):
-    """Decides, and immediately allocates, one batch of requests."""
+    """Decides, and immediately allocates, one batch of requests.
+
+    :meth:`decide_batch` is the one canonical contract every policy
+    implements; the single-request :meth:`decide` is a thin wrapper over
+    it, so a policy's batched and one-at-a-time paths cannot diverge.
+    """
 
     name: str
 
@@ -98,6 +141,12 @@ class FleetPolicy(abc.ABC):
     ) -> List[FleetDecision]:
         """One decision per request, in order; placed requests are already
         allocated on their host when this returns."""
+
+    def decide(
+        self, request: PlacementRequest, fleet: Fleet
+    ) -> FleetDecision:
+        """Single-request convenience: ``decide_batch([request])[0]``."""
+        return self.decide_batch([request], fleet)[0]
 
     def min_block_nodes(
         self, machine: MachineTopology, vcpus: int
@@ -694,3 +743,48 @@ class GoalAwareFleetPolicy(FleetPolicy):
             predicted_relative=float(vector[index]),
             block_exact=exact,
         )
+
+
+# ----------------------------------------------------------------------
+# Policy registry
+# ----------------------------------------------------------------------
+
+#: Name -> policy class.  The CLI, shard workers, benchmarks, and
+#: examples all instantiate through :func:`make_policy`, so the
+#: constructor matrix (who takes a registry, who takes which knobs) is
+#: spelled in exactly one place.  Register new policies here and every
+#: surface — ``repro schedule --policy``, ``repro serve``, the sharded
+#: service's workers — picks them up.
+POLICIES: Dict[str, type] = {
+    FirstFitFleetPolicy.name: FirstFitFleetPolicy,
+    SpreadFleetPolicy.name: SpreadFleetPolicy,
+    GoalAwareFleetPolicy.name: GoalAwareFleetPolicy,
+}
+
+
+def make_policy(
+    name: str,
+    *,
+    registry: ModelRegistry | None = None,
+    indexed: bool = True,
+    **kwargs,
+) -> FleetPolicy:
+    """Instantiate a registered policy by name.
+
+    ``registry`` is passed to policies whose constructor accepts one (the
+    model-driven ones) and ignored by the rest — heuristic policies make
+    no predictions, but their callers still hold a registry for grading,
+    and a uniform call site beats a per-policy constructor matrix.
+    Extra keyword arguments go to the constructor verbatim.
+    """
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; registered: "
+            f"{', '.join(sorted(POLICIES))}"
+        )
+    parameters = inspect.signature(factory).parameters
+    if "registry" in parameters:
+        return factory(registry, indexed=indexed, **kwargs)
+    return factory(indexed=indexed, **kwargs)

@@ -76,6 +76,33 @@ class PlacementRequest:
         )
         return f"req#{self.request_id} {self.profile.name} x{self.vcpus} ({goal})"
 
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe payload; :meth:`from_dict` reconstructs an equal
+        request (floats survive json round-trips exactly)."""
+        return {
+            "request_id": self.request_id,
+            "profile": self.profile.as_dict(),
+            "vcpus": self.vcpus,
+            "goal_fraction": self.goal_fraction,
+            "arrival_time": self.arrival_time,
+            "lifetime": self.lifetime,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PlacementRequest":
+        return cls(
+            request_id=data["request_id"],
+            profile=WorkloadProfile.from_dict(data["profile"]),
+            vcpus=data["vcpus"],
+            goal_fraction=data["goal_fraction"],
+            arrival_time=data["arrival_time"],
+            lifetime=data["lifetime"],
+        )
+
 
 def generate_request_stream(
     n_requests: int,

@@ -33,6 +33,7 @@ from repro.scheduler.requests import PlacementRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.scheduler.lifecycle import ChurnStats
+    from repro.scheduler.service import ServiceStats
     from repro.serving.online import OnlineStats
 
 
@@ -56,6 +57,24 @@ class GradedDecision:
             if self.violated:
                 text += " [VIOLATION]"
         return text
+
+    def to_dict(self) -> Dict:
+        """JSON-safe graded trace (the shard <-> front-end payload)."""
+        return {
+            "decision": self.decision.to_dict(),
+            "achieved_relative": self.achieved_relative,
+            "violated": self.violated,
+            "decision_seconds": self.decision_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict, machines) -> "GradedDecision":
+        return cls(
+            decision=FleetDecision.from_dict(data["decision"], machines),
+            achieved_relative=data["achieved_relative"],
+            violated=data["violated"],
+            decision_seconds=data["decision_seconds"],
+        )
 
 
 def grade_decision(
@@ -123,6 +142,9 @@ class FleetReport:
     #: Serving-loop statistics (observations, drift, retrains,
     #: promotions) — only set when an OnlineLearner was attached.
     online: "OnlineStats | None" = None
+    #: Routing statistics (shards, retries, per-shard load) — only set by
+    #: the sharded :class:`~repro.scheduler.service.SchedulerService`.
+    service: "ServiceStats | None" = None
 
     # ------------------------------------------------------------------
 
@@ -226,6 +248,137 @@ class FleetReport:
             float(np.percentile(latencies, 95) * 1000.0),
         )
 
+    def latency_percentiles_ms(
+        self, percentiles: Sequence[float] = (50.0, 99.0)
+    ) -> Tuple[float, ...]:
+        """Per-request decision latency percentiles in milliseconds (the
+        service benchmark's p50/p99 headline; zeros with no decisions)."""
+        if not self.decisions:
+            return tuple(0.0 for _ in percentiles)
+        latencies = np.array([g.decision_seconds for g in self.decisions])
+        return tuple(
+            float(np.percentile(latencies, p) * 1000.0) for p in percentiles
+        )
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self, *, include_decisions: bool = True) -> Dict:
+        """JSON-safe report.
+
+        With ``include_decisions`` (the default) the payload round-trips
+        through :meth:`from_dict` into an equal report — every derived
+        property (placed, violations, latency percentiles) recomputes
+        from the decision list.  Without it, the payload is a compact
+        machine-readable summary (what ``repro serve --emit-json``
+        prints): the derived scalars are snapshotted into a ``summary``
+        block instead, and ``from_dict`` reconstructs a report with an
+        empty decision list.
+        """
+        mean_ms, p95_ms = self.decision_latency_ms()
+        p50_ms, p99_ms = self.latency_percentiles_ms()
+        payload: Dict = {
+            "policy": self.policy,
+            "n_hosts": self.n_hosts,
+            "n_requests": self.n_requests,
+            "elapsed_seconds": self.elapsed_seconds,
+            "thread_utilization": self.thread_utilization,
+            "node_utilization": self.node_utilization,
+            "busiest_host_utilization": self.busiest_host_utilization,
+            "cache_info": (
+                None if self.cache_info is None else self.cache_info.to_dict()
+            ),
+            "enumeration_runs": self.enumeration_runs,
+            "predict_calls": self.predict_calls,
+            "predicted_rows": self.predicted_rows,
+            "ipc_cache_info": (
+                None
+                if self.ipc_cache_info is None
+                else self.ipc_cache_info.to_dict()
+            ),
+            "arena_forests": self.arena_forests,
+            "arena_fused_calls": self.arena_fused_calls,
+            "arena_lanes": self.arena_lanes,
+            "blockscore_cache_info": (
+                None
+                if self.blockscore_cache_info is None
+                else self.blockscore_cache_info.to_dict()
+            ),
+            "indexed": self.indexed,
+            "churn": None if self.churn is None else self.churn.to_dict(),
+            "online": None if self.online is None else self.online.to_dict(),
+            "service": (
+                None if self.service is None else self.service.to_dict()
+            ),
+            "summary": {
+                "placed": self.placed,
+                "rejected": self.rejected,
+                "violations": self.violations,
+                "admission_pct": self.admission_pct,
+                "violation_pct": self.violation_pct,
+                "requests_per_second": self.requests_per_second,
+                "latency_mean_ms": mean_ms,
+                "latency_p50_ms": p50_ms,
+                "latency_p95_ms": p95_ms,
+                "latency_p99_ms": p99_ms,
+            },
+        }
+        if include_decisions:
+            payload["decisions"] = [g.to_dict() for g in self.decisions]
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict, machines) -> "FleetReport":
+        """Inverse of :meth:`to_dict`; a payload without decisions comes
+        back with an empty decision list (its derived counts then read 0
+        — consult the payload's ``summary`` block for the snapshot)."""
+        from repro.scheduler.lifecycle import ChurnStats
+        from repro.scheduler.service import ServiceStats
+        from repro.serving.online import OnlineStats
+
+        def cache(entry):
+            return None if entry is None else CacheInfo.from_dict(entry)
+
+        return cls(
+            policy=data["policy"],
+            n_hosts=data["n_hosts"],
+            n_requests=data["n_requests"],
+            decisions=[
+                GradedDecision.from_dict(entry, machines)
+                for entry in data.get("decisions", [])
+            ],
+            elapsed_seconds=data["elapsed_seconds"],
+            thread_utilization=data["thread_utilization"],
+            node_utilization=data["node_utilization"],
+            busiest_host_utilization=data["busiest_host_utilization"],
+            cache_info=cache(data["cache_info"]),
+            enumeration_runs=data["enumeration_runs"],
+            predict_calls=data["predict_calls"],
+            predicted_rows=data["predicted_rows"],
+            ipc_cache_info=cache(data["ipc_cache_info"]),
+            arena_forests=data["arena_forests"],
+            arena_fused_calls=data["arena_fused_calls"],
+            arena_lanes=data["arena_lanes"],
+            blockscore_cache_info=cache(data["blockscore_cache_info"]),
+            indexed=data["indexed"],
+            churn=(
+                None
+                if data["churn"] is None
+                else ChurnStats.from_dict(data["churn"])
+            ),
+            online=(
+                None
+                if data["online"] is None
+                else OnlineStats.from_dict(data["online"])
+            ),
+            service=(
+                None
+                if data["service"] is None
+                else ServiceStats.from_dict(data["service"])
+            ),
+        )
+
     def rejects_by_reason(self) -> Dict[str, int]:
         reasons: Dict[str, int] = {}
         for g in self.decisions:
@@ -300,6 +453,8 @@ class FleetReport:
             lines.append(self.churn.describe())
         if self.online is not None:
             lines.append(self.online.describe())
+        if self.service is not None:
+            lines.append(self.service.describe())
         lines.append(
             f"  elapsed {self.elapsed_seconds:.2f} s -> "
             f"{self.requests_per_second:.1f} requests/s"

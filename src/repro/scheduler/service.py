@@ -1,0 +1,700 @@
+"""The sharded scheduler service: route, batch, retry across shards.
+
+Two-level scheduling for the fleet (the Borg/Omega shape): the
+:class:`SchedulerService` front-end partitions the fleet round-robin
+across worker shards (:mod:`repro.scheduler.shard`), each owning its own
+fleet index, model registry, and policies, and routes every request from
+nothing but the shards' cheap summaries — free-node totals and the
+largest free block per machine shape.  Summaries are refreshed by
+piggybacking on every worker response, so they are always slightly
+stale; the service is *optimistic* about that: it routes anyway, and
+when a shard rejects for capacity (its summary promised room it no
+longer has, or never had), the request is retried on the next-best
+shard until one places it or every shard has had a look.  A request is
+therefore placed exactly once or rejected exactly once, never lost and
+never double-placed — the conflict-retry property the tests assert.
+
+Why it is fast, independent of transport parallelism:
+
+* every shard's candidate scans (index buckets, block search) cover
+  ``1/n_shards`` of the hosts, so the per-decision hot path shrinks
+  with the shard count;
+* arrivals are batched into routing windows and each shard decides its
+  window slice in one ``decide_batch`` call, so the goal-aware policy's
+  fused forest call amortizes across the window instead of running per
+  event as the monolithic lifecycle engine does;
+* departures are deferred into per-shard outboxes ([id, time] pairs —
+  a release needs nothing else) and ride as one batched message right
+  before the owning shard's next window, so the dominant event type in
+  a churn stream costs no round trips of its own.
+
+With one shard and a window of one, the service is the monolithic
+:class:`~repro.scheduler.lifecycle.LifecycleScheduler` behind a wire
+protocol: the reference-stream tests assert the decisions are
+bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.memo import CacheInfo
+from repro.core.serialize import machines_by_name
+from repro.scheduler.config import ScheduleConfig
+from repro.scheduler.events import EventKind, events_from_requests
+from repro.scheduler.fleet import minimal_shape
+from repro.scheduler.lifecycle import (
+    ChurnStats,
+    FragmentationSample,
+    MigrationRecord,
+)
+from repro.scheduler.requests import PlacementRequest
+from repro.scheduler.scheduler import FleetReport, GradedDecision
+from repro.scheduler.shard import (
+    InlineShardClient,
+    ProcessShardClient,
+    ShardSummary,
+)
+
+
+@dataclass
+class ServiceStats:
+    """Routing counters carried inside a FleetReport."""
+
+    n_shards: int
+    window: int
+    transport: str = "inline"
+    #: Routing rounds flushed (each is at most one message per shard).
+    rounds: int = 0
+    #: Arrivals routed (first placement attempt).
+    routed: int = 0
+    #: Departures forwarded to their owning shard.
+    departures_routed: int = 0
+    #: Batched departure messages actually sent (departures are deferred
+    #: per shard and delivered before the shard's next message).
+    departure_batches: int = 0
+    #: Re-route attempts after a shard rejected (stale-summary recovery).
+    retries: int = 0
+    #: Requests placed by a retry after their first shard rejected them.
+    recovered_by_retry: int = 0
+    #: Requests rejected after every shard was tried.
+    exhausted: int = 0
+    #: Arrivals finally owned by each shard (placed or terminally
+    #: rejected there).
+    shard_requests: List[int] = field(default_factory=list)
+    #: Arrivals placed by each shard.
+    shard_placed: List[int] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [
+            f"  service: {self.n_shards} shard(s) ({self.transport} "
+            f"transport), window {self.window}: {self.rounds} routing "
+            f"rounds, {self.routed} arrivals routed, "
+            f"{self.departures_routed} departures in "
+            f"{self.departure_batches} batches",
+            f"  optimistic retry: {self.retries} re-routes, "
+            f"{self.recovered_by_retry} recovered, "
+            f"{self.exhausted} exhausted every shard",
+        ]
+        if self.shard_requests:
+            lines.append(
+                "  shard load: "
+                + ", ".join(
+                    f"#{shard}: {requests} routed / {placed} placed"
+                    for shard, (requests, placed) in enumerate(
+                        zip(self.shard_requests, self.shard_placed)
+                    )
+                )
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "n_shards": self.n_shards,
+            "window": self.window,
+            "transport": self.transport,
+            "rounds": self.rounds,
+            "routed": self.routed,
+            "departures_routed": self.departures_routed,
+            "departure_batches": self.departure_batches,
+            "retries": self.retries,
+            "recovered_by_retry": self.recovered_by_retry,
+            "exhausted": self.exhausted,
+            "shard_requests": list(self.shard_requests),
+            "shard_placed": list(self.shard_placed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ServiceStats":
+        return cls(**data)
+
+
+def merge_churn_stats(
+    per_shard: Sequence[ChurnStats],
+    *,
+    arrivals: int,
+    initial: Sequence[FragmentationSample],
+) -> ChurnStats:
+    """Fold per-shard churn statistics into one fleet-wide view.
+
+    Counters sum; migration traces interleave by time.  The
+    fragmentation timeline is merged by carrying each shard's latest
+    sample forward: at every event time, fleet free nodes / active
+    containers / fit failures are the *sum* of the shards' latest
+    values and the largest free block is their *max* (a block lives on
+    one host, hence in one shard).  ``initial`` supplies each shard's
+    pre-stream state (an empty shard: all nodes free) so sums are right
+    before every shard has reported a sample.  ``arrivals`` overrides
+    the summed arrival count: a retried request arrives at several
+    shards but only once at the service.
+    """
+    if len(per_shard) == 1:
+        merged = ChurnStats.from_dict(per_shard[0].to_dict())
+        merged.arrivals = arrivals
+        return merged
+    merged = ChurnStats(
+        arrivals=arrivals,
+        departures=sum(s.departures for s in per_shard),
+        rebalance_attempts=sum(s.rebalance_attempts for s in per_shard),
+        rebalance_recovered=sum(s.rebalance_recovered for s in per_shard),
+    )
+    merged.migrations = sorted(
+        (m for s in per_shard for m in s.migrations),
+        key=lambda m: (m.time, m.triggered_by, m.request_id),
+    )
+    latest = {
+        shard: sample for shard, sample in enumerate(initial)
+    }
+    tagged = [
+        (sample.time, shard, position, sample)
+        for shard, stats in enumerate(per_shard)
+        for position, sample in enumerate(stats.fragmentation_timeline)
+    ]
+    tagged.sort(key=lambda item: (item[0], item[1], item[2]))
+    for event_time, shard, _, sample in tagged:
+        latest[shard] = sample
+        merged.fragmentation_timeline.append(
+            FragmentationSample(
+                time=event_time,
+                free_nodes_total=sum(
+                    s.free_nodes_total for s in latest.values()
+                ),
+                largest_free_block=max(
+                    s.largest_free_block for s in latest.values()
+                ),
+                active_containers=sum(
+                    s.active_containers for s in latest.values()
+                ),
+                fit_failures=sum(s.fit_failures for s in latest.values()),
+            )
+        )
+    return merged
+
+
+class SchedulerService:
+    """Front-end over worker shards: route, batch, retry, merge reports.
+
+    Parameters
+    ----------
+    config:
+        The full :class:`~repro.scheduler.config.ScheduleConfig`;
+        ``shards``, ``window``, and ``workers`` select the service
+        shape, everything else configures the per-shard engines exactly
+        as it would configure the monolithic schedulers.
+
+    Use as a context manager (or call :meth:`close`) so process-mode
+    workers are shut down.
+    """
+
+    def __init__(self, config: ScheduleConfig) -> None:
+        config.validate()
+        if config.online_learning:
+            raise ValueError(
+                "online learning is monolithic-only for now: promotions "
+                "mutate one registry, and per-shard registries would "
+                "drift apart (run repro schedule --online-learning)"
+            )
+        self.config = config
+        machines = config.machine_list()
+        self.machines = machines
+        self._by_name = machines_by_name(machines)
+        n = config.shards
+        self._shard_machines = [machines[shard::n] for shard in range(n)]
+        client_factory = (
+            ProcessShardClient
+            if config.workers == "process"
+            else InlineShardClient
+        )
+        if config.workers == "process":
+            self.clients = [
+                client_factory(shard, config) for shard in range(n)
+            ]
+        else:
+            self.clients = [
+                client_factory(
+                    shard, config, machines=self._shard_machines[shard]
+                )
+                for shard in range(n)
+            ]
+        self.summaries: List[ShardSummary] = [
+            ShardSummary.initial(shard, self._shard_machines[shard])
+            for shard in range(n)
+        ]
+        self.stats = ServiceStats(
+            n_shards=n,
+            window=config.window,
+            transport=self.clients[0].transport,
+            shard_requests=[0] * n,
+            shard_placed=[0] * n,
+        )
+        self.graded: List[GradedDecision] = []
+        #: request id -> shard that finally owns it (placed it, or issued
+        #: the terminal rejection) — the departure routing table.
+        self._owner: Dict[int, int] = {}
+        #: Per-shard deferred departures ([request_id, time] pairs): a
+        #: departure costs no round trip of its own; the batch rides
+        #: immediately before the owning shard's next message.
+        self._outbox: List[List[List]] = [[] for _ in range(n)]
+        #: (machine name, vcpus) -> minimal block nodes | None, memoized.
+        self._needed: Dict[Tuple[str, int], int | None] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "SchedulerService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _needed_nodes(self, name: str, vcpus: int) -> int | None:
+        """Optimistic block-size estimate for feasibility ranking: the
+        minimal balanced shape.  The ML policy may need a bigger block
+        (important placements only) — that optimism is exactly what the
+        retry path absorbs, so the router never consults a model."""
+        key = (name, vcpus)
+        if key not in self._needed:
+            try:
+                self._needed[key] = minimal_shape(
+                    self._by_name[name], vcpus
+                )[0]
+            except ValueError:
+                self._needed[key] = None
+        return self._needed[key]
+
+    def _rank_shards(
+        self, vcpus: int, debits: Sequence[int], exclude: frozenset = frozenset()
+    ) -> List[int]:
+        """Shard ids best-first for a request of ``vcpus``.
+
+        Shards whose summary shows a big-enough free block on some
+        hostable shape rank first, by descending (free nodes - in-window
+        debits); shards that *look* infeasible or full still rank (last)
+        rather than being dropped — the summary may be stale, and the
+        final say belongs to the shard itself.
+        """
+        ranked = []
+        for summary in self.summaries:
+            if summary.shard_id in exclude:
+                continue
+            feasible = False
+            for name, entry in summary.shapes.items():
+                needed = self._needed_nodes(name, vcpus)
+                if needed is not None and (
+                    entry["largest_free_block"] >= needed
+                ):
+                    feasible = True
+                    break
+            free = summary.free_nodes_total - debits[summary.shard_id]
+            ranked.append((not feasible, -free, summary.shard_id))
+        ranked.sort()
+        return [shard_id for _, _, shard_id in ranked]
+
+    def _min_debit(self, vcpus: int) -> int:
+        """Nodes to debit from a shard's cached free total when a request
+        is routed to it within the current window."""
+        costs = [
+            needed
+            for name in self._by_name
+            if (needed := self._needed_nodes(name, vcpus)) is not None
+        ]
+        return min(costs, default=0)
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+
+    def _globalize(self, entry: GradedDecision, shard: int) -> GradedDecision:
+        """Translate a shard-local host id to the global fleet id."""
+        if entry.decision.host_id is not None:
+            entry.decision.host_id = (
+                entry.decision.host_id * self.config.shards + shard
+            )
+        return entry
+
+    def _from_wire(self, data: Dict, shard: int) -> GradedDecision:
+        return self._globalize(
+            GradedDecision.from_dict(data, self._by_name), shard
+        )
+
+    def _update_summary(self, shard: int, response: Dict) -> None:
+        self.summaries[shard] = ShardSummary.from_dict(response["summary"])
+
+    def _send(self, shard: int, message: Dict) -> Tuple[Dict, float]:
+        """One worker round-trip; returns (response, seconds).
+
+        Deferred departures for the shard are delivered first, so the
+        shard always processes its events in stream order.
+        """
+        if message.get("op") != "depart":
+            self._flush_departures(shard)
+        start = time.perf_counter()
+        response = self.clients[shard].request(message)
+        elapsed = time.perf_counter() - start
+        self._update_summary(shard, response)
+        return response, elapsed
+
+    def _flush_departures(self, shard: int) -> None:
+        events = self._outbox[shard]
+        if not events:
+            return
+        self._outbox[shard] = []
+        self.stats.departure_batches += 1
+        self._send(shard, {"op": "depart", "events": events})
+
+    # ------------------------------------------------------------------
+    # Placement rounds
+    # ------------------------------------------------------------------
+
+    def _place_window(
+        self, items: Sequence[Tuple[PlacementRequest, float]], op: str
+    ) -> List[GradedDecision]:
+        """Route one window of requests, batch per shard, retry rejects.
+
+        ``items`` are (request, event time) pairs in arrival order;
+        ``op`` is ``"arrive"`` (lifecycle) or ``"decide"`` (one-shot).
+        Returns one graded decision per item, in order.
+        """
+        self.stats.rounds += 1
+        self.stats.routed += len(items)
+        debits = [0] * self.config.shards
+        assigned: List[int] = []
+        for request, _ in items:
+            shard = self._rank_shards(request.vcpus, debits)[0]
+            assigned.append(shard)
+            debits[shard] += self._min_debit(request.vcpus)
+
+        groups: Dict[int, List[int]] = {}
+        for position, shard in enumerate(assigned):
+            groups.setdefault(shard, []).append(position)
+        results: List[GradedDecision | None] = [None] * len(items)
+        for shard in sorted(groups):
+            positions = groups[shard]
+            message = self._window_message(
+                op, [items[position] for position in positions]
+            )
+            response, elapsed = self._send(shard, message)
+            per_request = elapsed / len(positions)
+            for position, graded in zip(positions, response["graded"]):
+                entry = self._from_wire(graded, shard)
+                entry.decision_seconds = per_request
+                results[position] = entry
+
+        finished: List[GradedDecision] = []
+        for position, (request, event_time) in enumerate(items):
+            entry = results[position]
+            shard = assigned[position]
+            entry, shard = self._retry_if_rejected(
+                entry, shard, request, event_time, op
+            )
+            self._owner[request.request_id] = shard
+            self.stats.shard_requests[shard] += 1
+            if entry.decision.placed:
+                self.stats.shard_placed[shard] += 1
+            self.graded.append(entry)
+            finished.append(entry)
+        return finished
+
+    def _window_message(
+        self, op: str, items: Sequence[Tuple[PlacementRequest, float]]
+    ) -> Dict:
+        if op == "decide":
+            return {
+                "op": "decide",
+                "requests": [request.to_dict() for request, _ in items],
+            }
+        return {
+            "op": "arrive",
+            "events": [
+                [request.to_dict(), event_time]
+                for request, event_time in items
+            ],
+        }
+
+    def _retry_if_rejected(
+        self,
+        entry: GradedDecision,
+        shard: int,
+        request: PlacementRequest,
+        event_time: float,
+        op: str,
+    ) -> Tuple[GradedDecision, int]:
+        """The optimistic-concurrency arm: a rejected request is retried
+        on the next-best untried shard until placed or exhausted.  The
+        final decision's reject reason is ``capacity`` if *any* shard
+        rejected for capacity (the fleet-wide truth a monolithic
+        scheduler would have reported)."""
+        if entry.decision.placed:
+            return entry, shard
+        tried = {shard}
+        saw_capacity = entry.decision.reject_reason == "capacity"
+        accumulated = entry.decision_seconds
+        while len(tried) < self.config.shards and not entry.decision.placed:
+            next_shard = self._rank_shards(
+                request.vcpus,
+                [0] * self.config.shards,
+                exclude=frozenset(tried),
+            )[0]
+            self.stats.retries += 1
+            message = self._window_message(op, [(request, event_time)])
+            response, elapsed = self._send(next_shard, message)
+            accumulated += elapsed
+            entry = self._from_wire(response["graded"][0], next_shard)
+            entry.decision_seconds = accumulated
+            shard = next_shard
+            tried.add(next_shard)
+            if entry.decision.placed:
+                self.stats.recovered_by_retry += 1
+                return entry, shard
+            saw_capacity = saw_capacity or (
+                entry.decision.reject_reason == "capacity"
+            )
+        self.stats.exhausted += 1
+        if saw_capacity:
+            entry.decision.reject_reason = "capacity"
+        return entry, shard
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+
+    def serve(
+        self,
+        requests: Sequence[PlacementRequest] | None = None,
+        *,
+        max_events: int | None = None,
+    ) -> FleetReport:
+        """Ingest a churn event stream and return the merged report.
+
+        Arrivals are buffered into windows of ``config.window``
+        consecutive arrivals.  Departures never cost a round trip of
+        their own: each is deferred into its owning shard's outbox and
+        delivered (as one batched ``depart`` message) right before that
+        shard's next message, so every shard still sees its own events
+        in stream order.  A departure falling *inside* a buffered
+        window is held until the window flushes — window semantics
+        already trade strict time order within the window for batching,
+        and with ``window=1`` the buffer is empty when every departure
+        arrives, which keeps the single-shard reference stream
+        bit-identical to the monolithic engine.  ``max_events`` bounds
+        ingestion for smoke runs.
+        """
+        if requests is None:
+            requests = self.config.build_stream()
+        requests = list(requests)
+        if max_events is None:
+            max_events = self.config.max_events
+        start = time.perf_counter()
+        pending: List[Tuple[PlacementRequest, float]] = []
+        held: List[Tuple[int, float]] = []
+        ingested = 0
+        arrivals = 0
+        for event in events_from_requests(requests).drain():
+            if max_events is not None and ingested >= max_events:
+                break
+            ingested += 1
+            if event.kind is EventKind.ARRIVAL:
+                pending.append((event.request, event.time))
+                arrivals += 1
+                if len(pending) >= self.config.window:
+                    self._place_window(pending, "arrive")
+                    pending = []
+                    self._defer_departures(held)
+                    held = []
+            elif pending:
+                # Owner may be in the buffered window; resolve at flush.
+                held.append((event.request.request_id, event.time))
+            else:
+                self._defer_departures(
+                    [(event.request.request_id, event.time)]
+                )
+        if pending:
+            self._place_window(pending, "arrive")
+        self._defer_departures(held)
+        for shard in range(self.config.shards):
+            self._flush_departures(shard)
+        elapsed = time.perf_counter() - start
+        return self._merge_report(arrivals, elapsed, churn=True)
+
+    def run(
+        self, requests: Sequence[PlacementRequest] | None = None
+    ) -> FleetReport:
+        """One-shot mode: place a whole request stream batch by batch
+        (the service-shaped :class:`~repro.scheduler.scheduler.FleetScheduler`)."""
+        if requests is None:
+            requests = self.config.build_stream()
+        requests = list(requests)
+        start = time.perf_counter()
+        batch_size = self.config.effective_batch_size
+        for begin in range(0, len(requests), batch_size):
+            batch = requests[begin : begin + batch_size]
+            self._place_window(
+                [(request, request.arrival_time) for request in batch],
+                "decide",
+            )
+        elapsed = time.perf_counter() - start
+        return self._merge_report(len(requests), elapsed, churn=False)
+
+    def _defer_departures(
+        self, pairs: Sequence[Tuple[int, float]]
+    ) -> None:
+        """Queue departures on their owning shards' outboxes."""
+        for request_id, event_time in pairs:
+            shard = self._owner.get(request_id)
+            if shard is None:
+                # Departure of a request whose arrival was never ingested
+                # (max_events cut the stream mid-pair): nothing to free.
+                continue
+            self.stats.departures_routed += 1
+            self._outbox[shard].append([request_id, event_time])
+
+    # ------------------------------------------------------------------
+    # Report merging
+    # ------------------------------------------------------------------
+
+    def _merge_report(
+        self, n_requests: int, elapsed_seconds: float, *, churn: bool
+    ) -> FleetReport:
+        reports = []
+        for shard in range(self.config.shards):
+            response, _ = self._send(shard, {"op": "report"})
+            reports.append(response["report"])
+
+        def merged_cache(key: str) -> CacheInfo | None:
+            infos = [
+                CacheInfo.from_dict(r[key])
+                for r in reports
+                if r[key] is not None
+            ]
+            if not infos:
+                return None
+            total = infos[0]
+            for info in infos[1:]:
+                total = total + info
+            return total
+
+        used = sum(s.used_threads for s in self.summaries)
+        total = sum(s.total_threads for s in self.summaries)
+        free = sum(s.free_nodes_total for s in self.summaries)
+        nodes = sum(s.total_nodes for s in self.summaries)
+        if self.stats.transport == "inline":
+            # Arena and block-score accounting is process-wide: every
+            # inline worker reports the same counters, so read them once
+            # instead of summing n identical snapshots.
+            from repro.core.blockscores import DEFAULT_BLOCK_SCORE_CACHE
+            from repro.ml.arena import ARENA_STATS
+
+            arena_forests = ARENA_STATS.forests_compiled
+            arena_fused_calls = ARENA_STATS.fused_calls
+            arena_lanes = ARENA_STATS.lanes_evaluated
+            blockscore = DEFAULT_BLOCK_SCORE_CACHE.info()
+        else:
+            arena_forests = sum(r["arena_forests"] for r in reports)
+            arena_fused_calls = sum(r["arena_fused_calls"] for r in reports)
+            arena_lanes = sum(r["arena_lanes"] for r in reports)
+            blockscore = merged_cache("blockscore_cache_info")
+
+        merged_churn = None
+        if churn:
+            merged_churn = merge_churn_stats(
+                [
+                    self._localized_churn(r["churn"], shard)
+                    for shard, r in enumerate(reports)
+                ],
+                arrivals=n_requests,
+                initial=[
+                    FragmentationSample(
+                        time=0.0,
+                        free_nodes_total=sum(
+                            m.n_nodes for m in machines
+                        ),
+                        largest_free_block=max(
+                            (m.n_nodes for m in machines), default=0
+                        ),
+                        active_containers=0,
+                        fit_failures=0,
+                    )
+                    for machines in self._shard_machines
+                ],
+            )
+
+        return FleetReport(
+            policy=self.config.policy,
+            n_hosts=self.config.hosts,
+            n_requests=n_requests,
+            decisions=self.graded,
+            elapsed_seconds=elapsed_seconds,
+            thread_utilization=(used / total) if total else 0.0,
+            node_utilization=(1.0 - free / nodes) if nodes else 0.0,
+            busiest_host_utilization=max(
+                r["busiest_host_utilization"] for r in reports
+            ),
+            cache_info=merged_cache("cache_info"),
+            enumeration_runs=sum(r["enumeration_runs"] for r in reports),
+            predict_calls=sum(r["predict_calls"] for r in reports),
+            predicted_rows=sum(r["predicted_rows"] for r in reports),
+            ipc_cache_info=merged_cache("ipc_cache_info"),
+            arena_forests=arena_forests,
+            arena_fused_calls=arena_fused_calls,
+            arena_lanes=arena_lanes,
+            blockscore_cache_info=blockscore,
+            indexed=self.config.indexed,
+            churn=merged_churn,
+            service=self.stats,
+        )
+
+    def _localized_churn(self, data: Dict, shard: int) -> ChurnStats:
+        """Rebuild one shard's churn stats with migration host ids
+        translated to global fleet ids."""
+        stats = ChurnStats.from_dict(data)
+        n = self.config.shards
+        stats.migrations = [
+            MigrationRecord(
+                time=m.time,
+                request_id=m.request_id,
+                workload=m.workload,
+                source_host=m.source_host * n + shard,
+                dest_host=m.dest_host * n + shard,
+                engine=m.engine,
+                seconds=m.seconds,
+                moved_gb=m.moved_gb,
+                triggered_by=m.triggered_by,
+            )
+            for m in stats.migrations
+        ]
+        return stats

@@ -1,0 +1,394 @@
+"""Worker shards: each owns a fleet slice behind a message protocol.
+
+The sharded service (:mod:`repro.scheduler.service`) is two-level
+scheduling in the Borg/Omega mold: a front-end routes requests across
+*shards*, and each shard runs the existing engines — the policies'
+``decide_batch``, the lifecycle engine's churn handling, the rebalancer —
+unchanged against its own :class:`~repro.scheduler.fleet.Fleet`,
+:class:`~repro.scheduler.registry.ModelRegistry`, and (through them) its
+own fleet index and block-score tables.  A shard never sees another
+shard's hosts, so its candidate scans are ``1/n_shards`` the size, and a
+window of routed arrivals is decided in one policy batch so the fused
+forest call amortizes per shard.
+
+Everything crossing the shard boundary is a JSON-safe dict built from
+the wire surface (``to_dict`` / ``from_dict``): requests in, graded
+decision traces out, with a :class:`ShardSummary` piggybacked on every
+response so the router's view refreshes for free.  The
+:class:`InlineShardClient` runs the worker in-process but still pushes
+every message through ``json.dumps``/``loads`` — the wire format is
+exercised on every transport, not just the multiprocess one — while
+:class:`ProcessShardClient` runs the same worker loop in a separate
+process connected by a pipe.
+
+Worker message protocol (all payloads JSON-safe dicts):
+
+========= ==========================================================
+op        meaning
+========= ==========================================================
+arrive    lifecycle arrivals: ``events=[[request_dict, time], ...]``
+          decided in one ``step_batch`` window; returns graded traces
+depart    lifecycle departures: ``events=[[request_id, time], ...]``
+          (a departure needs nothing but the id); frees placements
+decide    one-shot batch (no churn): ``requests=[request_dict, ...]``
+summary   just the shard's routing summary
+report    the shard's full FleetReport payload (without decisions)
+stop      shut the worker down (process transport exits its loop)
+========= ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.scheduler.events import EventKind, LifecycleEvent
+from repro.scheduler.lifecycle import LifecycleScheduler, RebalanceConfig
+from repro.scheduler.requests import PlacementRequest
+from repro.scheduler.scheduler import FleetReport, GradedDecision, grade_decision
+from repro.topology.machine import MachineTopology
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """The cheap per-shard state the front-end routes on.
+
+    Deliberately tiny — a few counters plus one entry per machine
+    *shape* (not per host), so refreshing it costs O(#shapes) reads of
+    the shard's incremental index, and shipping it costs a few hundred
+    bytes however many hosts the shard owns.  The router treats it as
+    *advisory*: between refreshes it goes stale, and a placement routed
+    on stale numbers is recovered by the service's optimistic retry.
+    """
+
+    shard_id: int
+    n_hosts: int
+    free_nodes_total: int
+    total_nodes: int
+    used_threads: int
+    total_threads: int
+    active_containers: int
+    #: machine name -> {"n_hosts", "free_nodes", "largest_free_block"}.
+    shapes: Dict[str, Dict[str, int]]
+
+    def to_dict(self) -> Dict:
+        return {
+            "shard_id": self.shard_id,
+            "n_hosts": self.n_hosts,
+            "free_nodes_total": self.free_nodes_total,
+            "total_nodes": self.total_nodes,
+            "used_threads": self.used_threads,
+            "total_threads": self.total_threads,
+            "active_containers": self.active_containers,
+            "shapes": {
+                name: dict(entry) for name, entry in self.shapes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ShardSummary":
+        return cls(
+            shard_id=data["shard_id"],
+            n_hosts=data["n_hosts"],
+            free_nodes_total=data["free_nodes_total"],
+            total_nodes=data["total_nodes"],
+            used_threads=data["used_threads"],
+            total_threads=data["total_threads"],
+            active_containers=data["active_containers"],
+            shapes={
+                name: dict(entry)
+                for name, entry in data["shapes"].items()
+            },
+        )
+
+    @classmethod
+    def initial(
+        cls, shard_id: int, machines: Sequence[MachineTopology]
+    ) -> "ShardSummary":
+        """The summary of a freshly built (empty) shard — what the router
+        knows before the shard's first response arrives."""
+        shapes: Dict[str, Dict[str, int]] = {}
+        for machine in machines:
+            entry = shapes.setdefault(
+                machine.name,
+                {"n_hosts": 0, "free_nodes": 0, "largest_free_block": 0},
+            )
+            entry["n_hosts"] += 1
+            entry["free_nodes"] += machine.n_nodes
+            entry["largest_free_block"] = max(
+                entry["largest_free_block"], machine.n_nodes
+            )
+        return cls(
+            shard_id=shard_id,
+            n_hosts=len(machines),
+            free_nodes_total=sum(m.n_nodes for m in machines),
+            total_nodes=sum(m.n_nodes for m in machines),
+            used_threads=0,
+            total_threads=sum(m.total_threads for m in machines),
+            active_containers=0,
+            shapes=shapes,
+        )
+
+
+class ShardWorker:
+    """One shard: a fleet slice plus the engines that schedule on it.
+
+    Parameters
+    ----------
+    shard_id:
+        This shard's index; also selects the fleet slice (host ``g`` of
+        the global fleet belongs to shard ``g % shards``).
+    config:
+        The service-wide :class:`~repro.scheduler.config.ScheduleConfig`.
+        The worker builds its own registry and policy from it, so a
+        process-transport worker reconstructs bit-for-bit the same
+        artifacts as an inline one (everything derives from the seed and
+        the preset names).
+    machines:
+        Optional explicit fleet slice (one topology per local host).
+        Defaults to ``config.machine_list()[shard_id::config.shards]``.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        config,
+        *,
+        machines: Sequence[MachineTopology] | None = None,
+    ) -> None:
+        from repro.scheduler.fleet import Fleet
+
+        self.shard_id = shard_id
+        self.config = config
+        if machines is None:
+            machines = config.machine_list()[shard_id :: config.shards]
+        if not machines:
+            raise ValueError(
+                f"shard {shard_id} of {config.shards} owns no hosts "
+                f"({config.hosts} total)"
+            )
+        self.machines = list(machines)
+        self.fleet = Fleet(self.machines)
+        self.registry = config.build_registry()
+        self.policy = config.build_policy(self.registry)
+        self.engine = LifecycleScheduler(
+            self.fleet,
+            self.policy,
+            registry=self.registry,
+            config=RebalanceConfig(
+                enabled=config.rebalance_enabled,
+                reject_penalty_seconds=config.penalty_seconds,
+            ),
+        )
+        self._next_seq = 0
+        #: One-shot ("decide") accounting, separate from the lifecycle
+        #: engine's graded list.
+        self._one_shot_graded: List[GradedDecision] = []
+        #: Wall-clock seconds spent inside handle() — the shard's own
+        #: busy time, reported alongside the front-end's elapsed time.
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def handle(self, message: Dict) -> Dict:
+        """Process one protocol message; returns the JSON-safe response."""
+        start = time.perf_counter()
+        op = message["op"]
+        if op == "arrive":
+            response = self._handle_arrive(message["events"])
+        elif op == "depart":
+            response = self._handle_depart(message["events"])
+        elif op == "decide":
+            response = self._handle_decide(message["requests"])
+        elif op == "summary":
+            response = {}
+        elif op == "report":
+            response = {
+                "report": self.report().to_dict(include_decisions=False)
+            }
+        elif op == "stop":
+            response = {"stopped": True}
+        else:
+            raise ValueError(f"unknown shard op {op!r}")
+        response["summary"] = self.summary().to_dict()
+        self.busy_seconds += time.perf_counter() - start
+        return response
+
+    def _event(
+        self, kind: EventKind, request_data: Dict, event_time: float
+    ) -> LifecycleEvent:
+        event = LifecycleEvent(
+            event_time,
+            self._next_seq,
+            kind,
+            PlacementRequest.from_dict(request_data),
+        )
+        self._next_seq += 1
+        return event
+
+    def _handle_arrive(self, events: Sequence) -> Dict:
+        window = self.engine.step_batch(
+            [
+                self._event(EventKind.ARRIVAL, request_data, event_time)
+                for request_data, event_time in events
+            ]
+        )
+        return {"graded": [entry.to_dict() for entry in window]}
+
+    def _handle_depart(self, events: Sequence) -> Dict:
+        for request_id, event_time in events:
+            self.engine.depart(request_id, event_time)
+        return {"departed": len(events)}
+
+    def _handle_decide(self, requests: Sequence[Dict]) -> Dict:
+        """One-shot batch: decide + grade, no lifecycle bookkeeping —
+        exactly what :class:`~repro.scheduler.scheduler.FleetScheduler`
+        does with one of its batches."""
+        batch = [PlacementRequest.from_dict(data) for data in requests]
+        start = time.perf_counter()
+        decisions = self.policy.decide_batch(batch, self.fleet)
+        per_request = (time.perf_counter() - start) / max(len(batch), 1)
+        graded = []
+        for decision in decisions:
+            entry = grade_decision(decision, self.fleet, self.registry)
+            entry.decision_seconds = per_request
+            graded.append(entry)
+        self._one_shot_graded.extend(graded)
+        return {"graded": [entry.to_dict() for entry in graded]}
+
+    # ------------------------------------------------------------------
+    # State views
+    # ------------------------------------------------------------------
+
+    def summary(self) -> ShardSummary:
+        """The shard's routing summary, from the index's O(1) state."""
+        index = self.fleet.index
+        shapes: Dict[str, Dict[str, int]] = {}
+        for fingerprint, machine in index.machines():
+            buckets = index.buckets(fingerprint)
+            sizes = [size for size, ids in buckets.items() if ids]
+            shapes[machine.name] = {
+                "n_hosts": len(index.host_ids(fingerprint)),
+                "free_nodes": sum(
+                    size * len(ids) for size, ids in buckets.items()
+                ),
+                "largest_free_block": max(sizes, default=0),
+            }
+        return ShardSummary(
+            shard_id=self.shard_id,
+            n_hosts=len(self.fleet),
+            free_nodes_total=index.free_nodes_total,
+            total_nodes=index.total_nodes,
+            used_threads=index.used_threads,
+            total_threads=index.total_threads,
+            active_containers=len(self.engine._active),
+            shapes=shapes,
+        )
+
+    def report(self) -> FleetReport:
+        """This shard's own FleetReport (local host ids, local counters)."""
+        if self._one_shot_graded and not self.engine.graded:
+            return FleetReport.collect(
+                policy=self.policy,
+                fleet=self.fleet,
+                registry=self.registry,
+                n_requests=len(self._one_shot_graded),
+                decisions=self._one_shot_graded,
+                elapsed_seconds=self.busy_seconds,
+            )
+        return self.engine.collect_report(
+            self.engine.stats.arrivals, self.busy_seconds
+        )
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+
+
+class InlineShardClient:
+    """In-process shard: the worker lives in the caller's process.
+
+    Every message and response still round-trips through JSON, so the
+    inline transport exercises the identical wire surface the process
+    transport ships over its pipe — a payload that only works inline is
+    a bug this client catches immediately.
+    """
+
+    transport = "inline"
+
+    def __init__(
+        self,
+        shard_id: int,
+        config,
+        *,
+        machines: Sequence[MachineTopology] | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.worker = ShardWorker(shard_id, config, machines=machines)
+
+    def request(self, message: Dict) -> Dict:
+        payload = json.loads(json.dumps(message))
+        return json.loads(json.dumps(self.worker.handle(payload)))
+
+    def close(self) -> None:  # symmetric with ProcessShardClient
+        pass
+
+
+def _shard_worker_main(connection, shard_id: int, config_data: Dict) -> None:
+    """Entry point of one shard worker process: rebuild the shard from
+    the serialized config, then serve the message loop until ``stop``."""
+    from repro.scheduler.config import ScheduleConfig
+
+    worker = ShardWorker(shard_id, ScheduleConfig.from_dict(config_data))
+    while True:
+        message = connection.recv()
+        connection.send(worker.handle(message))
+        if message.get("op") == "stop":
+            return
+
+
+class ProcessShardClient:
+    """One worker process per shard, connected by a pipe.
+
+    The child rebuilds its fleet, registry, and policy from the
+    serialized :class:`~repro.scheduler.config.ScheduleConfig` — nothing
+    but JSON-safe dicts crosses the pipe, so the child's artifacts are
+    reconstructed deterministically from the same seed and preset names
+    the parent used.
+    """
+
+    transport = "process"
+
+    def __init__(self, shard_id: int, config) -> None:
+        self.shard_id = shard_id
+        parent, child = multiprocessing.Pipe()
+        self._connection = parent
+        self._process = multiprocessing.Process(
+            target=_shard_worker_main,
+            args=(child, shard_id, config.to_dict()),
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+
+    def request(self, message: Dict) -> Dict:
+        self._connection.send(message)
+        return self._connection.recv()
+
+    def close(self) -> None:
+        if self._process.is_alive():
+            try:
+                self.request({"op": "stop"})
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._connection.close()

@@ -118,6 +118,39 @@ class OnlineStats:
             lines.append(f"  final rolling MAPE: {final:.1f}%")
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "observations": self.observations,
+            "drift_events": self.drift_events,
+            "retrains": self.retrains,
+            "shadow_discards": self.shadow_discards,
+            "promotions": [record.to_dict() for record in self.promotions],
+            "mape_timeline": [
+                [time, vcpus, mape] for time, vcpus, mape in self.mape_timeline
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OnlineStats":
+        return cls(
+            observations=data["observations"],
+            drift_events=data["drift_events"],
+            retrains=data["retrains"],
+            shadow_discards=data["shadow_discards"],
+            promotions=[
+                PromotionRecord.from_dict(record)
+                for record in data["promotions"]
+            ],
+            mape_timeline=[
+                (time, vcpus, mape)
+                for time, vcpus, mape in data["mape_timeline"]
+            ],
+        )
+
 
 class OnlineLearner:
     """Drives one :class:`ModelServer` from a fleet's graded decisions."""

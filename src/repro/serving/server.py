@@ -115,6 +115,35 @@ class PromotionRecord:
             f"{self.n_shadow_observations} paired obs"
         )
 
+    def to_dict(self) -> Dict:
+        """JSON-safe record; the machine fingerprint (a nested tuple — the
+        interconnect signature nests) serializes as nested lists."""
+        from repro.core.serialize import listed
+
+        return {
+            "time": self.time,
+            "fingerprint": listed(self.fingerprint),
+            "vcpus": self.vcpus,
+            "version": self.version,
+            "shadow_mape_pct": self.shadow_mape_pct,
+            "incumbent_mape_pct": self.incumbent_mape_pct,
+            "n_shadow_observations": self.n_shadow_observations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PromotionRecord":
+        from repro.core.serialize import tupled
+
+        return cls(
+            time=data["time"],
+            fingerprint=tupled(data["fingerprint"]),
+            vcpus=data["vcpus"],
+            version=data["version"],
+            shadow_mape_pct=data["shadow_mape_pct"],
+            incumbent_mape_pct=data["incumbent_mape_pct"],
+            n_shadow_observations=data["n_shadow_observations"],
+        )
+
 
 class ModelServer(ModelRegistry):
     """A :class:`ModelRegistry` whose models are versioned artifacts.

@@ -15,6 +15,7 @@ from repro.topology.interconnect import Interconnect, Link
 from repro.topology.machine import MachineTopology
 from repro.topology.builder import TopologyBuilder
 from repro.topology.presets import (
+    PRESETS,
     amd_opteron_6272,
     intel_xeon_e7_4830_v3,
     amd_epyc_zen,
@@ -28,6 +29,7 @@ __all__ = [
     "Link",
     "MachineTopology",
     "TopologyBuilder",
+    "PRESETS",
     "amd_opteron_6272",
     "intel_xeon_e7_4830_v3",
     "amd_epyc_zen",

@@ -40,7 +40,7 @@ Opteron die) and the graph diameter is 2.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.topology.interconnect import Interconnect
 from repro.topology.machine import MachineTopology
@@ -197,3 +197,15 @@ def intel_haswell_cod() -> MachineTopology:
             "Cluster-on-die machine: fast on-die node pairs, slower QPI"
         ),
     )
+
+
+#: Short preset key -> factory, the one catalog of built-in machine
+#: models.  The CLI's ``--machine`` choices, :class:`ScheduleConfig`, and
+#: the sharded service's worker bootstrap all resolve through this map,
+#: so a new preset registered here reaches every surface at once.
+PRESETS: Dict[str, Callable[[], MachineTopology]] = {
+    "amd": amd_opteron_6272,
+    "intel": intel_xeon_e7_4830_v3,
+    "zen": amd_epyc_zen,
+    "cod": intel_haswell_cod,
+}

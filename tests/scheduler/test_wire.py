@@ -1,0 +1,250 @@
+"""Round-trip tests for the wire surface.
+
+Every type that crosses the shard boundary (or the ``--emit-json``
+output) must survive ``to_dict`` -> ``json.dumps`` -> ``json.loads`` ->
+``from_dict`` without losing information: the inline transport JSON-
+round-trips every message, so a lossy payload would silently change
+decisions.  The tests push real objects (produced by real scheduler
+runs, not hand-built minimal ones) through an actual JSON round trip.
+"""
+
+import json
+
+import pytest
+
+from repro.core.memo import CacheInfo
+from repro.core.serialize import machines_by_name
+from repro.scheduler import (
+    ChurnStats,
+    FleetScheduler,
+    FragmentationSample,
+    GradedDecision,
+    LifecycleScheduler,
+    MigrationRecord,
+    PlacementRequest,
+    RebalanceConfig,
+    ScheduleConfig,
+    ServiceStats,
+    ShardSummary,
+    ShardWorker,
+    generate_churn_stream,
+    generate_request_stream,
+)
+from repro.scheduler.scheduler import FleetReport
+from repro.serving.online import OnlineStats
+
+
+def wire(payload):
+    """One actual JSON round trip — what the transports do."""
+    return json.loads(json.dumps(payload))
+
+
+@pytest.fixture(scope="module")
+def churn_report():
+    """A real lifecycle run with departures, rejects, and migrations —
+    the richest report the wire has to carry."""
+    config = ScheduleConfig(
+        machine="amd",
+        hosts=3,
+        requests=50,
+        seed=5,
+        churn=True,
+        mean_lifetime=20.0,
+        heavy_tail=True,
+        vcpus=(8, 16, 32),
+    )
+    registry = config.build_registry()
+    engine = LifecycleScheduler(
+        config.build_fleet(),
+        config.build_policy(registry),
+        registry=registry,
+        config=RebalanceConfig(enabled=True),
+    )
+    return engine.run(config.build_stream())
+
+
+@pytest.fixture(scope="module")
+def machines():
+    return machines_by_name(ScheduleConfig(machine="mixed", hosts=2).machine_list())
+
+
+class TestRequestWire:
+    def test_request_stream_round_trips(self):
+        stream = generate_churn_stream(
+            30, seed=2, vcpus_choices=(4, 8), heavy_tail=True
+        ) + generate_request_stream(10, seed=2)
+        for request in stream:
+            rebuilt = PlacementRequest.from_dict(wire(request.to_dict()))
+            assert rebuilt == request  # frozen dataclass: field equality
+
+    def test_goal_and_lifetime_optionals_survive(self):
+        stream = generate_churn_stream(40, seed=0, vcpus_choices=(8,))
+        assert any(r.goal_fraction is None for r in stream)
+        assert any(r.goal_fraction is not None for r in stream)
+        for request in stream:
+            rebuilt = PlacementRequest.from_dict(wire(request.to_dict()))
+            assert rebuilt.goal_fraction == request.goal_fraction
+            assert rebuilt.lifetime == request.lifetime
+
+
+class TestDecisionWire:
+    def test_graded_decisions_round_trip(self, churn_report):
+        machines = machines_by_name(
+            ScheduleConfig(machine="amd", hosts=1).machine_list()
+        )
+        assert churn_report.rejected > 0  # exercise the reject arm too
+        for graded in churn_report.decisions:
+            rebuilt = GradedDecision.from_dict(
+                wire(graded.to_dict()), machines
+            )
+            assert rebuilt.to_dict() == graded.to_dict()
+            assert rebuilt.decision.placed == graded.decision.placed
+            if graded.decision.placed:
+                assert (
+                    tuple(rebuilt.decision.placement.nodes)
+                    == tuple(graded.decision.placement.nodes)
+                )
+                assert (
+                    rebuilt.decision.placement.l2_share
+                    == graded.decision.placement.l2_share
+                )
+
+
+class TestStatsWire:
+    def test_cache_info_round_trip_and_merge(self):
+        a = CacheInfo(hits=3, misses=2, currsize=2)
+        b = CacheInfo(hits=10, misses=0, currsize=4)
+        assert CacheInfo.from_dict(wire(a.to_dict())) == a
+        assert a + b == CacheInfo(hits=13, misses=2, currsize=6)
+
+    def test_churn_stats_round_trip(self, churn_report):
+        stats = churn_report.churn
+        assert stats.fragmentation_timeline  # non-trivial payload
+        rebuilt = ChurnStats.from_dict(wire(stats.to_dict()))
+        assert rebuilt.to_dict() == stats.to_dict()
+        assert rebuilt.fit_failures == stats.fit_failures
+        assert rebuilt.n_migrations == stats.n_migrations
+
+    def test_fragmentation_and_migration_round_trip(self):
+        sample = FragmentationSample(
+            time=3.5,
+            free_nodes_total=12,
+            largest_free_block=4,
+            active_containers=7,
+            fit_failures=2,
+        )
+        assert FragmentationSample.from_dict(wire(sample.to_dict())) == sample
+        record = MigrationRecord(
+            time=9.25,
+            request_id=4,
+            workload="gcc",
+            source_host=1,
+            dest_host=3,
+            engine="criu",
+            seconds=12.5,
+            moved_gb=1.75,
+            triggered_by=9,
+        )
+        assert MigrationRecord.from_dict(wire(record.to_dict())) == record
+
+    def test_service_stats_round_trip(self):
+        stats = ServiceStats(
+            n_shards=4,
+            window=16,
+            transport="process",
+            rounds=10,
+            routed=37,
+            departures_routed=21,
+            departure_batches=6,
+            retries=3,
+            recovered_by_retry=2,
+            exhausted=1,
+            shard_requests=[10, 9, 9, 9],
+            shard_placed=[10, 8, 9, 9],
+        )
+        assert ServiceStats.from_dict(wire(stats.to_dict())) == stats
+
+    def test_online_stats_round_trip(self):
+        stats = OnlineStats()
+        assert OnlineStats.from_dict(wire(stats.to_dict())).to_dict() == (
+            stats.to_dict()
+        )
+
+
+class TestConfigWire:
+    def test_schedule_config_round_trip(self):
+        config = ScheduleConfig(
+            machine="mixed",
+            hosts=10,
+            requests=77,
+            vcpus=(4, 8, 12),
+            seed=9,
+            policy="spread",
+            churn=True,
+            heavy_tail=True,
+            shards=3,
+            window=5,
+            workers="process",
+            max_events=100,
+        )
+        rebuilt = ScheduleConfig.from_dict(wire(config.to_dict()))
+        assert rebuilt == config
+        assert rebuilt.vcpus == (4, 8, 12)  # tuple restored, not list
+
+
+class TestSummaryWire:
+    def test_shard_summary_round_trips_live_state(self):
+        config = ScheduleConfig(
+            machine="mixed", hosts=4, requests=8, churn=True, shards=1
+        )
+        worker = ShardWorker(0, config)
+        for request in generate_request_stream(8, seed=1, vcpus_choices=(8,)):
+            worker.handle(
+                {"op": "arrive", "events": [[request.to_dict(), 0.0]]}
+            )
+        summary = worker.summary()
+        assert summary.active_containers > 0  # live, not the empty shard
+        assert ShardSummary.from_dict(wire(summary.to_dict())) == summary
+
+
+class TestReportWire:
+    def test_full_report_round_trips(self, churn_report, machines):
+        amd = machines_by_name(
+            ScheduleConfig(machine="amd", hosts=1).machine_list()
+        )
+        payload = wire(churn_report.to_dict())
+        rebuilt = FleetReport.from_dict(payload, amd)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.placed == churn_report.placed
+        assert rebuilt.rejected == churn_report.rejected
+        assert rebuilt.latency_percentiles_ms() == (
+            churn_report.latency_percentiles_ms()
+        )
+
+    def test_summary_only_report_snapshots_derived_values(self, churn_report):
+        payload = wire(churn_report.to_dict(include_decisions=False))
+        assert "decisions" not in payload
+        assert payload["summary"]["placed"] == churn_report.placed
+        assert payload["summary"]["requests_per_second"] == pytest.approx(
+            churn_report.requests_per_second
+        )
+        amd = machines_by_name(
+            ScheduleConfig(machine="amd", hosts=1).machine_list()
+        )
+        rebuilt = FleetReport.from_dict(payload, amd)
+        assert rebuilt.decisions == []  # compact form drops the traces
+
+    def test_one_shot_report_round_trips(self, machines):
+        config = ScheduleConfig(
+            machine="mixed", hosts=2, requests=20, seed=4, vcpus=(4, 8)
+        )
+        registry = config.build_registry()
+        scheduler = FleetScheduler(
+            config.build_fleet(),
+            config.build_policy(registry),
+            registry=registry,
+            batch_size=8,
+        )
+        report = scheduler.run(config.build_stream())
+        payload = wire(report.to_dict())
+        assert FleetReport.from_dict(payload, machines).to_dict() == payload
