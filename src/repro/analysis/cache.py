@@ -1,0 +1,96 @@
+"""Per-file analysis result cache keyed on content hash.
+
+A clean ``repro lint`` run in CI should cost roughly one tree walk: the
+cache maps ``sha256(signature, path, source)`` to the JSON-serialized
+findings for that file, so unchanged files skip parsing and rule
+execution entirely.  The signature folds in the analyzer version and the
+active rule ids, so upgrading the suite or narrowing ``--rules``
+invalidates naturally — no mtime heuristics, no stale positives.
+
+The cache file is plain JSON (one object, ``version`` + ``entries``) and
+is safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: On-disk format version; mismatches discard the whole file.
+CACHE_FORMAT = 1
+
+#: Entry cap: oldest entries are dropped first (insertion order — dicts
+#: preserve it, which doubles as the eviction queue).
+MAX_ENTRIES = 8192
+
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+
+class LintCache:
+    """Content-addressed findings cache backed by one JSON file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, List[dict]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("version") != CACHE_FORMAT:
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = {
+                key: value
+                for key, value in entries.items()
+                if isinstance(key, str) and isinstance(value, list)
+            }
+
+    @staticmethod
+    def key(path: str, source: str, signature: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(signature.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def get(self, key: str) -> Optional[List[dict]]:
+        return self._entries.get(key)
+
+    def put(self, key: str, findings: List[dict]) -> None:
+        if self._entries.get(key) == findings:
+            return
+        self._entries[key] = findings
+        self._dirty = True
+        while len(self._entries) > MAX_ENTRIES:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def save(self) -> None:
+        """Write back if anything changed; best-effort (CI caches may sit
+        on read-only mounts — a failed write costs speed, not findings)."""
+
+        if not self._dirty:
+            return
+        payload = {"version": CACHE_FORMAT, "entries": self._entries}
+        try:
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            return
+        self._dirty = False
+
+
+__all__ = ["CACHE_FORMAT", "DEFAULT_CACHE_NAME", "LintCache", "MAX_ENTRIES"]

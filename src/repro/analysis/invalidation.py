@@ -1,0 +1,299 @@
+"""Memo-invalidation rule: mutations of memoized state must invalidate.
+
+The tree memoizes aggressively — the forest compiles an arena from
+``trees_``, ``FleetIndex`` mirrors host capacity in O(1) counters,
+``BlockScoreCache`` keys score tables on ``(fingerprint, kind,
+version)``, ``ModelRegistry`` keys baseline-IPC memos on a model version
+token.  Every one of those stays correct only because each mutation path
+bumps the matching version or drops the derived structure.  This rule
+encodes those pairings in a small registry (:data:`CACHE_SURFACES`) so
+the static check and the runtime debug hooks
+(``BlockScoreCache.assert_version_consistency``,
+``ModelRegistry.assert_version_consistency``,
+``FleetIndex.assert_consistent``) name the same surfaces, and new caches
+opt in by adding a row.
+
+Two check styles per surface:
+
+* **guarded attributes** — any method that mutates a guarded attribute
+  in place must, in the same method, either touch an invalidator
+  attribute or reassign one of the ``setter_resets`` properties (whose
+  setter performs the invalidation);
+* **declared methods** — a method named in ``declared`` must reference
+  every listed token (attribute or call) somewhere in its body.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule
+
+#: Attribute calls that mutate a container in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "appendleft",
+        "popleft",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CacheSurface:
+    """One memoized surface: which class, which state, which bump."""
+
+    name: str
+    class_name: str
+    #: Module path suffix the surface lives at; fixture files (outside
+    #: the ``repro`` package) match any surface by class name alone.
+    module_suffix: str
+    #: Attributes whose in-place mutation requires invalidation.
+    guarded_attrs: Tuple[str, ...] = ()
+    #: Attributes whose reassignment/mutation counts as invalidation.
+    invalidators: Tuple[str, ...] = ()
+    #: Properties whose *setter* invalidates: plain reassignment of one
+    #: of these is itself a valid bump (``self.trees_ = [...]``).
+    setter_resets: Tuple[str, ...] = ()
+    #: method name -> tokens (attributes or callables) it must touch.
+    declared: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Methods on the class exempt from the guarded-attr check (the
+    #: invalidation primitives themselves).
+    exempt_methods: Tuple[str, ...] = ()
+    #: The runtime check that verifies the same invariant dynamically.
+    runtime_check: str = ""
+
+
+CACHE_SURFACES: Tuple[CacheSurface, ...] = (
+    CacheSurface(
+        name="forest-arena",
+        class_name="RandomForestRegressor",
+        module_suffix="ml/forest.py",
+        guarded_attrs=("trees_", "_trees"),
+        invalidators=("_arena",),
+        setter_resets=("trees_",),
+        exempt_methods=("trees_",),
+        runtime_check=(
+            "arena-vs-per-tree bit-for-bit equivalence "
+            "(tests/ml/test_arena.py)"
+        ),
+    ),
+    CacheSurface(
+        name="fleet-index-counters",
+        class_name="FleetHost",
+        module_suffix="scheduler/fleet.py",
+        declared={
+            "allocate": ("on_allocate",),
+            "release": ("on_release",),
+        },
+        runtime_check=(
+            "FleetIndex.assert_consistent randomized replay "
+            "(tests/scheduler/test_index.py)"
+        ),
+    ),
+    CacheSurface(
+        name="block-score-tables",
+        class_name="BlockScoreCache",
+        module_suffix="core/blockscores.py",
+        guarded_attrs=("_versions",),
+        invalidators=("_tables",),
+        exempt_methods=("clear", "assert_version_consistency"),
+        runtime_check="BlockScoreCache.assert_version_consistency",
+    ),
+    CacheSurface(
+        name="model-promotion-memos",
+        class_name="ModelServer",
+        module_suffix="serving/server.py",
+        declared={
+            "promote": (
+                "_baseline_ipc",
+                "invalidate",
+                "assert_version_consistency",
+            ),
+        },
+        runtime_check="ModelRegistry.assert_version_consistency",
+    ),
+)
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _base_self_attr(node: ast.expr) -> Optional[str]:
+    """``self.attr`` at the base of a subscript chain, if any."""
+
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return _self_attr(node)
+
+
+def _mutations(func: ast.FunctionDef, attrs: Sequence[str]) -> List[ast.AST]:
+    """AST nodes that mutate ``self.<attr>`` in place for any watched
+    attribute (method calls, subscript stores/deletes, augmented
+    assignment)."""
+
+    watched = set(attrs)
+    sites: List[ast.AST] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS:
+                attr = _base_self_attr(node.func.value)
+                if attr in watched:
+                    sites.append(node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _base_self_attr(target)
+                    if attr in watched:
+                        sites.append(node)
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    target, ast.Attribute
+                ):
+                    if _self_attr(target) in watched:
+                        sites.append(node)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _base_self_attr(target)
+                    if attr in watched:
+                        sites.append(node)
+    return sites
+
+
+def _touched_tokens(func: ast.FunctionDef) -> Set[str]:
+    """Names this method references as ``self.<attr>``, call targets
+    (``anything.token(...)`` or ``token(...)``), or assignment targets —
+    the vocabulary the ``declared``/``invalidators`` checks match on."""
+
+    tokens: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            tokens.add(node.attr)
+        elif isinstance(node, ast.Name):
+            tokens.add(node.id)
+    return tokens
+
+
+def _plain_reassignments(func: ast.FunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        targets: Sequence[ast.expr] = ()
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                names.add(attr)
+    return names
+
+
+class MemoInvalidationRule(Rule):
+    """Flag cached-state mutations that skip the matching invalidation.
+
+    Motivated by the memo-correctness gates: arena-vs-per-tree
+    equivalence (``tests/ml/test_arena.py``), indexed-vs-linear decision
+    equivalence (``tests/scheduler/test_index.py``), and the version-
+    token keyed serving memos (``tests/serving/test_server.py``).  The
+    rule is table-driven: see :data:`CACHE_SURFACES`.
+    """
+
+    id = "memo-invalidation"
+    packages = None  # surfaces carry their own module scoping
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        normalized = module.path.replace("\\", "/")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for surface in CACHE_SURFACES:
+                if node.name != surface.class_name:
+                    continue
+                if module.subpackage is not None and not normalized.endswith(
+                    surface.module_suffix
+                ):
+                    continue
+                findings.extend(self._check_surface(module, node, surface))
+        return findings
+
+    def _check_surface(
+        self, module: ModuleInfo, node: ast.ClassDef, surface: CacheSurface
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        methods = [
+            stmt for stmt in node.body if isinstance(stmt, ast.FunctionDef)
+        ]
+        for method in methods:
+            declared = surface.declared.get(method.name)
+            if declared:
+                tokens = _touched_tokens(method)
+                missing = [t for t in declared if t not in tokens]
+                if missing:
+                    findings.append(
+                        self.finding(
+                            module,
+                            method,
+                            f"{node.name}.{method.name} is declared to "
+                            f"maintain the {surface.name!r} surface but "
+                            f"never touches {', '.join(missing)} "
+                            f"(runtime check: {surface.runtime_check})",
+                        )
+                    )
+            if not surface.guarded_attrs:
+                continue
+            if method.name in surface.exempt_methods:
+                continue
+            sites = _mutations(method, surface.guarded_attrs)
+            if not sites:
+                continue
+            tokens = _touched_tokens(method)
+            reassigned = _plain_reassignments(method)
+            invalidated = any(
+                token in tokens for token in surface.invalidators
+            ) or any(prop in reassigned for prop in surface.setter_resets)
+            if not invalidated:
+                expected = " or ".join(
+                    [f"self.{t}" for t in surface.invalidators]
+                    + [f"reassigning self.{p}" for p in surface.setter_resets]
+                )
+                findings.append(
+                    self.finding(
+                        module,
+                        sites[0],
+                        f"{node.name}.{method.name} mutates "
+                        f"{'/'.join(surface.guarded_attrs)} "
+                        f"({surface.name!r} surface) without invalidating "
+                        f"— expected {expected} "
+                        f"(runtime check: {surface.runtime_check})",
+                    )
+                )
+        return findings
+
+
+__all__ = ["CACHE_SURFACES", "CacheSurface", "MemoInvalidationRule"]

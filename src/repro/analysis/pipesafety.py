@@ -1,0 +1,232 @@
+"""Pipe-safety rule: shard transport payloads must be JSON-safe.
+
+The sharded scheduler service speaks one message protocol over two
+transports: ``InlineShardClient`` pushes every payload through
+``json.dumps``/``loads`` precisely so the in-process path cannot cheat,
+and ``ProcessShardClient`` moves the same dicts over a
+``multiprocessing.Pipe``.  A numpy scalar or a dataclass instance
+survives pickling over the pipe but not JSON — the two transports then
+disagree, which is exactly the divergence the single-shard-equals-
+monolith gate in ``tests/scheduler/test_service.py`` exists to prevent.
+
+The rule scopes itself to the transport modules
+(``scheduler/shard.py``, ``scheduler/service.py``) and inspects payload
+roots only: arguments of ``.send``/``.request``/``._send`` calls, and
+return values of ``handle``/``_handle_*``/``*_message``/``to_dict``
+functions, following local variable assignments.  Inside a payload
+expression, calls into the ``numpy`` namespace, wire-class
+constructors, and ``from_dict`` calls are flagged; conversion wrappers
+(``float``/``int``/``str``/``bool``/``len``/``round``, ``.to_dict()``/
+``.tolist()``/``.item()``) terminate the descent as known-safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule
+
+#: Module path suffixes that speak the shard wire protocol.
+TRANSPORT_SUFFIXES = ("scheduler/shard.py", "scheduler/service.py")
+
+#: Payload-bearing call attributes.
+_SEND_ATTRS = frozenset({"send", "request", "_send"})
+
+#: Calls that produce JSON-safe values; descent stops at them.
+_SAFE_CALLS = frozenset(
+    {"float", "int", "str", "bool", "len", "round", "abs", "sorted", "list",
+     "tuple", "dict", "min", "max", "sum"}
+)
+_SAFE_METHODS = frozenset({"to_dict", "tolist", "item", "as_dict"})
+
+#: Classes whose instances are wire *objects* — sending one raw (instead
+#: of its ``to_dict()``) breaks the JSON transport.
+WIRE_CLASSES = frozenset(
+    {
+        "ShardSummary",
+        "GradedDecision",
+        "FleetReport",
+        "PlacementRequest",
+        "Placement",
+        "ChurnStats",
+        "CacheInfo",
+    }
+)
+
+
+def _is_transport_module(module: ModuleInfo) -> bool:
+    if module.subpackage is None:
+        return True  # standalone fixtures opt in by construction
+    normalized = module.path.replace("\\", "/")
+    return any(normalized.endswith(suffix) for suffix in TRANSPORT_SUFFIXES)
+
+
+def _payload_function(name: str) -> bool:
+    return (
+        name == "handle"
+        or name.startswith("_handle")
+        or name.endswith("_message")
+        or name == "to_dict"
+    )
+
+
+class PipeSafetyRule(Rule):
+    """Flag non-JSON-safe values in shard transport payloads.
+
+    Motivated by the transport-equivalence gate
+    (``tests/scheduler/test_service.py``): inline clients JSON-round-trip
+    every message, so a numpy scalar that would ride a
+    ``multiprocessing.Pipe`` unnoticed fails the JSON path — this rule
+    catches it before either transport runs.
+    """
+
+    id = "pipe-safety"
+    packages = None  # scoped by module suffix instead
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return _is_transport_module(module)
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(module, node))
+        return findings
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.FunctionDef
+    ) -> List[Finding]:
+        roots: List[ast.expr] = []
+        payload_vars: Set[str] = set()
+
+        # Arguments of send-like calls are payload roots.
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SEND_ATTRS
+            ):
+                candidates: Iterable[ast.expr] = list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]
+                for arg in candidates:
+                    if isinstance(arg, ast.Name):
+                        payload_vars.add(arg.id)
+                    else:
+                        roots.append(arg)
+
+        # Return values of payload-shaped functions are payload roots.
+        if _payload_function(func.name):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    if isinstance(node.value, ast.Name):
+                        payload_vars.add(node.value.id)
+                    else:
+                        roots.append(node.value)
+
+        # Follow local assignments into payload variables (including
+        # subscript stores: `response["summary"] = ...`).
+        if payload_vars:
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id in payload_vars
+                        ):
+                            roots.append(node.value)
+                        elif (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in payload_vars
+                        ):
+                            roots.append(node.value)
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id in payload_vars
+                ):
+                    roots.append(node.value)
+
+        findings: List[Finding] = []
+        for root in roots:
+            findings.extend(self._scan_payload(module, root))
+        return findings
+
+    def _scan_payload(
+        self, module: ModuleInfo, node: ast.expr
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        self._scan(module, node, findings)
+        return findings
+
+    def _scan(
+        self, module: ModuleInfo, node: ast.AST, findings: List[Finding]
+    ) -> None:
+        if isinstance(node, ast.Call):
+            name = module.resolve(node.func)
+            if name is not None and (
+                name.startswith("numpy.") or name == "numpy"
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{name}() in a pipe payload is not JSON-safe; "
+                        "convert with float()/int()/.tolist() first",
+                    )
+                )
+                return
+            if name is not None and name.split(".")[-1] == "from_dict":
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "from_dict() builds a wire object inside a pipe "
+                        "payload; send the dict form instead",
+                    )
+                )
+                return
+            if name in WIRE_CLASSES or (
+                name is not None and name.split(".")[-1] in WIRE_CLASSES
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{name.split('.')[-1]} instance in a pipe payload "
+                        "is not JSON-safe; send its to_dict() output",
+                    )
+                )
+                return
+            if name in _SAFE_CALLS:
+                return  # conversion wrapper: result is JSON-safe
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SAFE_METHODS
+            ):
+                return
+            # Unknown call: scan its arguments but trust its result.
+            for child in list(node.args) + [kw.value for kw in node.keywords]:
+                self._scan(module, child, findings)
+            return
+        if isinstance(node, ast.Attribute):
+            name = module.resolve(node)
+            if name is not None and name.startswith("numpy."):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{name} in a pipe payload is not JSON-safe",
+                    )
+                )
+                return
+            return  # plain attribute reads (self.shard_id, ...) are opaque
+        for child in ast.iter_child_nodes(node):
+            self._scan(module, child, findings)
+        return
+
+
+__all__ = ["PipeSafetyRule", "TRANSPORT_SUFFIXES", "WIRE_CLASSES"]

@@ -10,6 +10,9 @@ Subcommands mirror the paper's steps:
 * ``policies`` — run the Figure-5 packing comparison for one workload;
 * ``migrate-plan`` — price the migration of a workload and recommend a
   mechanism (Table 2 / Section 7);
+* ``lint`` — run the invariant-aware static analysis suite
+  (``repro.analysis``) over the tree: determinism, wire-schema,
+  memo-invalidation, and pipe-safety rules; exits non-zero on findings;
 * ``schedule`` — place a stream of heterogeneous container requests across
   a simulated fleet and print the fleet report (the scheduler subsystem).
   With ``--churn``, requests also *depart*: the event-driven lifecycle
@@ -268,6 +271,69 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import json as json_module
+    import time
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import (
+        DEFAULT_CACHE_NAME,
+        RULE_CLASSES,
+        Analyzer,
+        LintCache,
+        rules_named,
+    )
+
+    if args.list_rules:
+        for rule_id, rule_class in sorted(RULE_CLASSES.items()):
+            doc = (rule_class.__doc__ or "").strip().splitlines()
+            print(f"{rule_id:20s} {doc[0] if doc else ''}")
+        return 0
+    try:
+        rules = (
+            rules_named(token for token in args.rules.split(",") if token)
+            if args.rules
+            else None
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(Path(args.cache_file or DEFAULT_CACHE_NAME))
+    analyzer = Analyzer(rules, cache=cache)
+    paths = [Path(p) for p in args.paths] or [Path(repro.__file__).parent]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        raise SystemExit(f"no such path: {', '.join(missing)}")
+    start = time.perf_counter()
+    findings, n_files = analyzer.analyze_paths(paths)
+    elapsed = time.perf_counter() - start
+    if cache is not None:
+        cache.save()
+    if args.format == "json":
+        print(
+            json_module.dumps(
+                {
+                    "rules": sorted(rule.id for rule in analyzer.rules),
+                    "files": n_files,
+                    "elapsed_seconds": round(elapsed, 3),
+                    "findings": [f.to_dict() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.describe())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"checked {n_files} files in {elapsed:.2f}s: "
+            f"{len(findings)} {noun}"
+        )
+    return 1 if findings else 0
+
+
 def cmd_migrate_plan(args) -> int:
     planner = MigrationPlanner()
     workloads = (
@@ -339,6 +405,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--workload", default=None)
     p.set_defaults(func=cmd_migrate_plan)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the invariant lints (repro.analysis) over the tree",
+        parents=[seed_parent],
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the installed repro package)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default human)",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all; "
+        "see --list-rules)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file result cache",
+    )
+    p.add_argument(
+        "--cache-file",
+        default=None,
+        help="cache file path (default ./.repro-lint-cache.json)",
+    )
+    p.set_defaults(func=cmd_lint)
 
     from repro.scheduler.config import add_schedule_arguments
 

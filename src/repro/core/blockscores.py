@@ -311,6 +311,25 @@ class BlockScoreCache:
             del self._tables[key]
         return version
 
+    def assert_version_consistency(self) -> None:
+        """Debug hook: every live table is keyed at its shape's current
+        version.
+
+        :meth:`invalidate` bumps ``_versions`` and drops the orphaned
+        tables in the same call, so a surviving table keyed at an older
+        version means some mutation path skipped the bump.  This is the
+        runtime counterpart of the memo-invalidation lint's
+        ``block-score-tables`` surface (``repro.analysis.invalidation``).
+        """
+        for fingerprint, kind, version in self._tables:
+            current = self._versions.get(fingerprint, 0)
+            if version != current:
+                raise AssertionError(
+                    f"BlockScoreCache: {kind!r} table keyed at version "
+                    f"{version} but its shape is at {current}; an "
+                    "invalidation was skipped"
+                )
+
     def info(self) -> CacheInfo:
         return CacheInfo(self._hits, self._misses, len(self._tables))
 

@@ -216,6 +216,31 @@ class ModelRegistry:
         """
         return 0
 
+    def _current_version_token(self, fingerprint: Tuple, vcpus: int) -> int:
+        """Fingerprint-keyed twin of :meth:`model_version_token` for the
+        consistency hook (memo keys store fingerprints, not machines)."""
+        return 0
+
+    def assert_version_consistency(self) -> None:
+        """Debug hook: every ``baseline_ipc`` memo entry is keyed with
+        its key's *current* model version token.
+
+        Promotion purges the retiring version's entries in the same call
+        that flips the active version, so a surviving entry with a stale
+        token means a promotion path skipped the purge.  This is the
+        runtime counterpart of the memo-invalidation lint's
+        ``model-promotion-memos`` surface
+        (``repro.analysis.invalidation``).
+        """
+        for fingerprint, vcpus, _profile, token in self._baseline_ipc:
+            current = self._current_version_token(fingerprint, vcpus)
+            if token != current:
+                raise AssertionError(
+                    f"baseline_ipc memo keyed at version token {token} "
+                    f"but the key serves token {current}; a promotion "
+                    "skipped its cache purge"
+                )
+
     # ------------------------------------------------------------------
     # Noise-free IPC memoization (the grader's hot path)
     # ------------------------------------------------------------------

@@ -233,11 +233,18 @@ class ModelServer(ModelRegistry):
         # so the token is stable across chain creation and only moves on
         # promotion — which is exactly when baseline_ipc entries may go
         # stale.
-        key = (machine.fingerprint(), int(vcpus))
-        chain = self._chains.get(key)
+        return self._current_version_token(machine.fingerprint(), vcpus)
+
+    def _current_version_token(self, fingerprint: Tuple, vcpus: int) -> int:
+        chain = self._chains.get((fingerprint, int(vcpus)))
         if chain is None:
             return 1
-        return self.active_version(machine, vcpus).version
+        for version in reversed(chain):
+            if version.status is VersionStatus.ACTIVE:
+                return version.version
+        raise RuntimeError(
+            "version chain has no active entry"
+        )  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Lifecycle transitions
@@ -315,6 +322,10 @@ class ModelServer(ModelRegistry):
         for memo_key in stale:
             del self._baseline_ipc[memo_key]
         DEFAULT_BLOCK_SCORE_CACHE.invalidate(fingerprint)
+        # Cheap post-condition: the purge above left no entry keyed at a
+        # retired version token (the memo-invalidation lint's
+        # 'model-promotion-memos' surface, checked statically too).
+        self.assert_version_consistency()
 
         record = PromotionRecord(
             time=time,

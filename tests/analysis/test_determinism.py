@@ -1,0 +1,197 @@
+"""Determinism rules: true positives, true negatives, suppressions.
+
+Fixture paths are outside the ``repro`` package, where the decision
+rules always apply (package scoping is exercised in ``test_engine``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+
+PATH = "/tmp/fixture.py"
+
+
+def rules_of(source: str, rules=None) -> list:
+    return [f.rule for f in analyze_source(source, path=PATH, rules=rules)]
+
+
+class TestUnseededRng:
+    def test_unseeded_random_flagged(self):
+        assert rules_of("import random\nr = random.Random()\n") == [
+            "unseeded-rng"
+        ]
+
+    def test_seeded_random_clean(self):
+        assert rules_of("import random\nr = random.Random(7)\n") == []
+
+    def test_unseeded_default_rng_flagged(self):
+        assert rules_of(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        ) == ["unseeded-rng"]
+
+    def test_seed_none_counts_as_unseeded(self):
+        assert rules_of(
+            "import numpy as np\nrng = np.random.default_rng(seed=None)\n"
+        ) == ["unseeded-rng"]
+
+    def test_seeded_default_rng_clean(self):
+        assert (
+            rules_of("import numpy as np\nrng = np.random.default_rng(3)\n")
+            == []
+        )
+
+    def test_from_import_alias_resolved(self):
+        assert rules_of(
+            "from numpy.random import default_rng\nrng = default_rng()\n"
+        ) == ["unseeded-rng"]
+
+    def test_global_state_draw_flagged_even_with_args(self):
+        assert rules_of("import random\nx = random.randint(0, 5)\n") == [
+            "unseeded-rng"
+        ]
+
+    def test_instance_draw_clean(self):
+        source = (
+            "import random\n"
+            "rng = random.Random(7)\n"
+            "x = rng.randint(0, 5)\n"
+        )
+        assert rules_of(source) == []
+
+    def test_suppressed(self):
+        source = (
+            "import random\n"
+            "r = random.Random()  "
+            "# repro-lint: disable=unseeded-rng — fixture\n"
+        )
+        assert rules_of(source) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules_of("import time\nt = time.time()\n") == ["wall-clock"]
+
+    def test_perf_counter_clean(self):
+        assert rules_of("import time\nt = time.perf_counter()\n") == []
+
+    def test_datetime_now_flagged_via_from_import(self):
+        assert rules_of(
+            "from datetime import datetime\nt = datetime.now()\n"
+        ) == ["wall-clock"]
+
+    def test_os_urandom_flagged(self):
+        assert rules_of("import os\nb = os.urandom(8)\n") == ["wall-clock"]
+
+    def test_suppressed(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=wall-clock — fixture\n"
+        )
+        assert rules_of(source) == []
+
+
+class TestUnsortedSetIter:
+    def test_for_loop_over_set_variable_flagged(self):
+        source = (
+            "def pick(hosts):\n"
+            "    free = set(hosts)\n"
+            "    for host in free:\n"
+            "        return host\n"
+        )
+        assert rules_of(source) == ["unsorted-set-iter"]
+
+    def test_sorted_wrap_clean(self):
+        source = (
+            "def pick(hosts):\n"
+            "    free = set(hosts)\n"
+            "    for host in sorted(free):\n"
+            "        return host\n"
+        )
+        assert rules_of(source) == []
+
+    def test_set_method_result_flagged(self):
+        source = (
+            "def pick(free, busy):\n"
+            "    out = []\n"
+            "    out.extend(free.difference(busy))\n"
+            "    return out\n"
+        )
+        # `free` is a parameter of unknown type; only an explicit set
+        # expression triggers.
+        assert rules_of(source) == []
+        source = source.replace(
+            "def pick(free, busy):", "def pick(hosts, busy):"
+        ).replace("free.difference", "set(hosts).difference")
+        assert rules_of(source) == ["unsorted-set-iter"]
+
+    def test_list_of_set_literal_flagged(self):
+        assert rules_of("def f():\n    return list({3, 1, 2})\n") == [
+            "unsorted-set-iter"
+        ]
+
+    def test_order_insensitive_reduction_clean(self):
+        source = "def f(xs):\n    return sum(x for x in set(xs))\n"
+        assert rules_of(source) == []
+
+    def test_list_comprehension_over_set_flagged(self):
+        source = "def f(xs):\n    return [x + 1 for x in set(xs)]\n"
+        assert rules_of(source) == ["unsorted-set-iter"]
+
+    def test_name_reassigned_to_non_set_clean(self):
+        source = (
+            "def f(xs):\n"
+            "    items = set(xs)\n"
+            "    items = sorted(items)\n"
+            "    return [x for x in items]\n"
+        )
+        assert rules_of(source) == []
+
+    def test_set_union_operator_flagged(self):
+        source = (
+            "def f(a, b):\n"
+            "    merged = set(a) | set(b)\n"
+            "    return [x for x in merged]\n"
+        )
+        assert rules_of(source) == ["unsorted-set-iter"]
+
+    def test_suppressed(self):
+        source = (
+            "def f(xs):\n"
+            "    return [x for x in set(xs)]  "
+            "# repro-lint: disable=unsorted-set-iter — fixture\n"
+        )
+        assert rules_of(source) == []
+
+
+class TestIdOrdering:
+    def test_sorted_key_id_flagged(self):
+        assert rules_of("def f(xs):\n    return sorted(xs, key=id)\n") == [
+            "id-ordering"
+        ]
+
+    def test_lambda_id_flagged(self):
+        source = "def f(xs):\n    return min(xs, key=lambda x: id(x))\n"
+        assert rules_of(source) == ["id-ordering"]
+
+    def test_stable_attribute_key_clean(self):
+        source = "def f(xs):\n    return sorted(xs, key=lambda x: x.name)\n"
+        assert rules_of(source) == []
+
+    def test_id_as_memo_key_clean(self):
+        # id() is legal as a cache key (scheduler/policies.py does this);
+        # only ordering positions are flagged.
+        source = "def f(cache, x):\n    cache[id(x)] = x\n"
+        assert rules_of(source) == []
+
+    def test_sort_method_flagged(self):
+        assert rules_of("def f(xs):\n    xs.sort(key=id)\n") == [
+            "id-ordering"
+        ]
+
+    def test_suppressed(self):
+        source = (
+            "def f(xs):\n"
+            "    return sorted(xs, key=id)  "
+            "# repro-lint: disable=id-ordering — fixture\n"
+        )
+        assert rules_of(source) == []

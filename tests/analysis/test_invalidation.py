@@ -1,0 +1,154 @@
+"""Memo-invalidation rule: the CACHE_SURFACES table drives the checks."""
+
+from __future__ import annotations
+
+from repro.analysis import CACHE_SURFACES, analyze_source
+
+PATH = "/tmp/fixture.py"
+
+
+def findings_of(source: str):
+    return analyze_source(source, path=PATH, rules=["memo-invalidation"])
+
+
+FOREST = """
+class RandomForestRegressor:
+    def grow(self, tree):
+        self.trees_.append(tree)
+{invalidation}
+"""
+
+
+class TestGuardedAttrs:
+    def test_mutation_without_invalidation_flagged(self):
+        findings = findings_of(FOREST.format(invalidation="        pass"))
+        assert [f.rule for f in findings] == ["memo-invalidation"]
+        assert "forest-arena" in findings[0].message
+        assert "tests/ml/test_arena.py" in findings[0].message
+
+    def test_arena_reset_clean(self):
+        source = FOREST.format(invalidation="        self._arena = None")
+        assert findings_of(source) == []
+
+    def test_setter_reassignment_counts_as_invalidation(self):
+        # fit() rebuilds via `self.trees_ = []` then appends; the property
+        # setter performed the invalidation, so the method is clean.
+        source = """
+class RandomForestRegressor:
+    def fit(self, trees):
+        self.trees_ = []
+        for tree in trees:
+            self.trees_.append(tree)
+"""
+        assert findings_of(source) == []
+
+    def test_private_list_mutation_also_guarded(self):
+        source = """
+class RandomForestRegressor:
+    def prune(self, n):
+        self._trees.pop()
+"""
+        findings = findings_of(source)
+        assert [f.rule for f in findings] == ["memo-invalidation"]
+
+    def test_unrelated_class_ignored(self):
+        source = """
+class SomethingElse:
+    def grow(self, tree):
+        self.trees_.append(tree)
+"""
+        assert findings_of(source) == []
+
+    def test_version_bump_without_table_drop_flagged(self):
+        source = """
+class BlockScoreCache:
+    def bump(self, fingerprint):
+        self._versions[fingerprint] = self._versions.get(fingerprint, 0) + 1
+"""
+        findings = findings_of(source)
+        assert [f.rule for f in findings] == ["memo-invalidation"]
+        assert "block-score-tables" in findings[0].message
+
+    def test_suppressed(self):
+        source = FOREST.format(
+            invalidation=(
+                "        pass  "
+                "# repro-lint: disable=memo-invalidation — fixture"
+            )
+        )
+        findings = findings_of(source)
+        # The finding anchors at the mutation line, so suppress there.
+        source = """
+class RandomForestRegressor:
+    def grow(self, tree):
+        self.trees_.append(tree)  # repro-lint: disable=memo-invalidation — fixture
+"""
+        assert findings_of(source) == []
+        assert findings  # the pass-line suppression did not apply
+
+
+class TestDeclaredMethods:
+    def test_missing_index_callback_flagged(self):
+        source = """
+class FleetHost:
+    def allocate(self, placement):
+        self.placements.append(placement)
+
+    def release(self, placement):
+        self.placements.remove(placement)
+        self.index.on_release(self, placement)
+"""
+        findings = findings_of(source)
+        assert [f.rule for f in findings] == ["memo-invalidation"]
+        assert "allocate" in findings[0].message
+        assert "on_allocate" in findings[0].message
+
+    def test_both_callbacks_clean(self):
+        source = """
+class FleetHost:
+    def allocate(self, placement):
+        self.placements.append(placement)
+        self.index.on_allocate(self, placement)
+
+    def release(self, placement):
+        self.placements.remove(placement)
+        self.index.on_release(self, placement)
+"""
+        assert findings_of(source) == []
+
+    def test_promotion_must_touch_every_token(self):
+        source = """
+class ModelServer:
+    def promote(self, machine, vcpus):
+        self._models[(machine, vcpus)] = object()
+"""
+        findings = findings_of(source)
+        assert len(findings) == 1
+        message = findings[0].message
+        for token in (
+            "_baseline_ipc",
+            "invalidate",
+            "assert_version_consistency",
+        ):
+            assert token in message
+
+
+class TestTable:
+    def test_surface_names_unique(self):
+        names = [surface.name for surface in CACHE_SURFACES]
+        assert len(names) == len(set(names))
+
+    def test_every_surface_names_a_runtime_check(self):
+        for surface in CACHE_SURFACES:
+            assert surface.runtime_check, surface.name
+
+    def test_registry_hooks_exist(self):
+        # The table references runtime debug hooks by name; keep the
+        # static table and the dynamic API pointing at real methods.
+        from repro.core.blockscores import BlockScoreCache
+        from repro.scheduler.index import FleetIndex
+        from repro.scheduler.registry import ModelRegistry
+
+        assert callable(BlockScoreCache.assert_version_consistency)
+        assert callable(ModelRegistry.assert_version_consistency)
+        assert callable(FleetIndex.assert_consistent)

@@ -1,0 +1,144 @@
+"""Pipe-safety rule: shard payloads stay JSON-safe."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+
+PATH = "/tmp/fixture.py"
+
+
+def findings_of(source: str):
+    return analyze_source(source, path=PATH, rules=["pipe-safety"])
+
+
+class TestTruePositives:
+    def test_numpy_scalar_in_send_flagged(self):
+        source = """
+import numpy as np
+
+class Client:
+    def push(self, connection, events):
+        connection.send({"departed": np.int64(len(events))})
+"""
+        findings = findings_of(source)
+        assert [f.rule for f in findings] == ["pipe-safety"]
+        assert "numpy.int64" in findings[0].message
+
+    def test_numpy_scalar_in_handler_return_flagged(self):
+        source = """
+import numpy as np
+
+class Worker:
+    def _handle_depart(self, events):
+        return {"departed": np.mean(events)}
+"""
+        findings = findings_of(source)
+        assert [f.rule for f in findings] == ["pipe-safety"]
+
+    def test_wire_object_constructor_flagged(self):
+        source = """
+class Worker:
+    def handle(self, message):
+        return {"summary": ShardSummary(1, 2)}
+"""
+        findings = findings_of(source)
+        assert len(findings) == 1
+        assert "ShardSummary" in findings[0].message
+
+    def test_from_dict_in_payload_flagged(self):
+        source = """
+class Worker:
+    def _handle_decide(self, message):
+        return {"graded": GradedDecision.from_dict(message)}
+"""
+        findings = findings_of(source)
+        assert len(findings) == 1
+        assert "from_dict" in findings[0].message
+
+    def test_payload_variable_assignments_followed(self):
+        source = """
+import numpy as np
+
+class Worker:
+    def handle(self, message):
+        response = {"ok": True}
+        response["stat"] = np.float64(1.0)
+        return response
+"""
+        findings = findings_of(source)
+        assert [f.rule for f in findings] == ["pipe-safety"]
+
+
+class TestTrueNegatives:
+    def test_to_dict_values_clean(self):
+        source = """
+class Worker:
+    def handle(self, message):
+        return {"graded": [entry.to_dict() for entry in message]}
+"""
+        assert findings_of(source) == []
+
+    def test_conversion_wrappers_clean(self):
+        source = """
+import numpy as np
+
+class Worker:
+    def _handle_summary(self, values):
+        return {
+            "mean": float(np.mean(values)),
+            "lanes": np.asarray(values).tolist(),
+            "count": len(values),
+        }
+"""
+        assert findings_of(source) == []
+
+    def test_numpy_outside_payload_clean(self):
+        source = """
+import numpy as np
+
+class Worker:
+    def _decide(self, values):
+        scores = np.asarray(values)
+        best = int(scores.argmax())
+        return {"best": best}
+
+    def handle(self, message):
+        return self._decide(message)
+"""
+        assert findings_of(source) == []
+
+    def test_non_transport_repro_module_skipped(self):
+        source = """
+import numpy as np
+
+class Anything:
+    def handle(self, message):
+        return {"x": np.int64(3)}
+"""
+        # Inside the package but not a transport module: rule stays out.
+        assert (
+            analyze_source(
+                source,
+                path="src/repro/scheduler/policies.py",
+                rules=["pipe-safety"],
+            )
+            == []
+        )
+        # The transport modules themselves are in scope.
+        assert analyze_source(
+            source,
+            path="src/repro/scheduler/shard.py",
+            rules=["pipe-safety"],
+        )
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        source = """
+import numpy as np
+
+class Worker:
+    def handle(self, message):
+        return {"x": np.int64(3)}  # repro-lint: disable=pipe-safety — fixture
+"""
+        assert findings_of(source) == []

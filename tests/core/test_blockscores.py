@@ -185,3 +185,31 @@ class TestBlockScoreCache:
         assert DEFAULT_BLOCK_SCORE_CACHE.get(machine) is block_score_table(
             machine
         )
+
+
+class TestVersionConsistencyHook:
+    def test_clean_cache_passes(self):
+        cache = BlockScoreCache()
+        machine = amd_opteron_6272()
+        cache.get(machine)
+        cache.assert_version_consistency()
+
+    def test_invalidate_keeps_consistency(self):
+        cache = BlockScoreCache()
+        machine = amd_opteron_6272()
+        cache.get(machine)
+        cache.invalidate(machine.fingerprint())
+        cache.get(machine)
+        cache.assert_version_consistency()
+
+    def test_skipped_bump_is_caught(self):
+        cache = BlockScoreCache()
+        machine = amd_opteron_6272()
+        cache.get(machine)
+        # Simulate a buggy mutation path: bump the version without
+        # dropping the shape's tables (exactly what the memo-invalidation
+        # lint's 'block-score-tables' surface forbids statically).
+        fingerprint = machine.fingerprint()
+        cache._versions[fingerprint] = cache._versions.get(fingerprint, 0) + 1
+        with pytest.raises(AssertionError, match="invalidation was skipped"):
+            cache.assert_version_consistency()

@@ -131,6 +131,25 @@ class TestPromotion:
         assert server.baseline_ipc(machine, 8, profile) == before_8
         assert server.baseline_ipc(machine, 16, profile) == before_16
 
+    def test_version_consistency_hook(self, machine):
+        server = ModelServer(seed=0)
+        profile = paper_workloads()[0]
+        server.baseline_ipc(machine, 8, profile)
+        server.assert_version_consistency()  # fresh memo is consistent
+
+        _candidate(server, machine, 8)
+        server.promote(machine, 8, time=3.0)  # promote() runs the hook too
+        server.assert_version_consistency()
+
+        # Simulate a buggy promotion that skips the purge: re-insert an
+        # entry keyed at the retired token (the condition the
+        # memo-invalidation lint's 'model-promotion-memos' surface
+        # forbids statically).
+        stale_key = (machine.fingerprint(), 8, profile, 1)
+        server._baseline_ipc[stale_key] = 1.0
+        with pytest.raises(AssertionError, match="skipped its cache purge"):
+            server.assert_version_consistency()
+
     def test_describe_chains(self, machine):
         server = ModelServer(seed=0)
         assert "no version chains" in server.describe_chains()
