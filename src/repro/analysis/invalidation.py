@@ -127,6 +127,25 @@ CACHE_SURFACES: Tuple[CacheSurface, ...] = (
         },
         runtime_check="ModelRegistry.assert_version_consistency",
     ),
+    CacheSurface(
+        name="shard-respawn-state",
+        class_name="SchedulerService",
+        module_suffix="scheduler/service.py",
+        declared={
+            # A respawned worker starts empty: the cached ShardSummary
+            # must be reset and the journal replayed through a fresh
+            # client, or the router trusts pre-crash state.
+            "_recover_shard": ("summaries", "journals", "_make_client"),
+            # Deferred departures must survive a down shard: a failed
+            # flush re-queues its pairs on the outbox instead of
+            # dropping them.
+            "_flush_departures": ("_outbox",),
+        },
+        runtime_check=(
+            "crash-sweep report convergence "
+            "(tests/scheduler/test_faults.py)"
+        ),
+    ),
 )
 
 

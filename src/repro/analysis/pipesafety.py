@@ -27,8 +27,16 @@ from typing import Iterable, List, Set
 
 from repro.analysis.engine import Finding, ModuleInfo, Rule
 
-#: Module path suffixes that speak the shard wire protocol.
-TRANSPORT_SUFFIXES = ("scheduler/shard.py", "scheduler/service.py")
+#: Module path suffixes that speak the shard wire protocol.  The
+#: supervision layer journals and replays the same wire messages
+#: (supervisor.py) and the fault layer forwards them (faults.py), so
+#: both are payload-bearing modules.
+TRANSPORT_SUFFIXES = (
+    "scheduler/shard.py",
+    "scheduler/service.py",
+    "scheduler/supervisor.py",
+    "scheduler/faults.py",
+)
 
 #: Payload-bearing call attributes.
 _SEND_ATTRS = frozenset({"send", "request", "_send"})
@@ -51,6 +59,10 @@ WIRE_CLASSES = frozenset(
         "Placement",
         "ChurnStats",
         "CacheInfo",
+        "FaultAction",
+        "FaultPlan",
+        "JournalEntry",
+        "ServiceStats",
     }
 )
 

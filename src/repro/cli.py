@@ -252,11 +252,16 @@ def cmd_schedule(args) -> int:
 def cmd_serve(args) -> int:
     import json as json_module
 
-    from repro.scheduler import SchedulerService
+    from repro.scheduler import FaultPlan, SchedulerService
 
     config = _schedule_config(args)
+    faults = None
+    if getattr(args, "chaos", False):
+        faults = FaultPlan.kill_each_shard_once(
+            config.shards, seed=config.seed
+        )
     try:
-        with SchedulerService(config) as service:
+        with SchedulerService(config, faults=faults) as service:
             report = service.serve()
     except ValueError as error:
         raise SystemExit(str(error))

@@ -19,6 +19,13 @@ fragmentation tracking, and a migration-driven rebalancer that consults
 """
 
 from repro.scheduler.config import ScheduleConfig, add_schedule_arguments
+from repro.scheduler.faults import (
+    FAULT_KINDS,
+    FaultAction,
+    FaultInjectingClient,
+    FaultPlan,
+    ShardFaultSchedule,
+)
 from repro.scheduler.events import (
     EventKind,
     EventQueue,
@@ -73,13 +80,46 @@ from repro.scheduler.service import (
 from repro.scheduler.shard import (
     InlineShardClient,
     ProcessShardClient,
+    ShardCrashError,
+    ShardError,
     ShardSummary,
+    ShardTimeoutError,
     ShardWorker,
+)
+from repro.scheduler.supervisor import (
+    HEALTH_DOWN,
+    HEALTH_RECOVERING,
+    HEALTH_STATES,
+    HEALTH_SUSPECT,
+    HEALTH_UP,
+    JournalEntry,
+    MUTATING_OPS,
+    ShardDownError,
+    ShardJournal,
+    ShardSupervisor,
 )
 
 __all__ = [
     "add_schedule_arguments",
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultInjectingClient",
+    "FaultPlan",
+    "HEALTH_DOWN",
+    "HEALTH_RECOVERING",
+    "HEALTH_STATES",
+    "HEALTH_SUSPECT",
+    "HEALTH_UP",
     "InlineShardClient",
+    "JournalEntry",
+    "MUTATING_OPS",
+    "ShardCrashError",
+    "ShardDownError",
+    "ShardError",
+    "ShardFaultSchedule",
+    "ShardJournal",
+    "ShardSupervisor",
+    "ShardTimeoutError",
     "make_policy",
     "merge_churn_stats",
     "POLICIES",

@@ -74,6 +74,12 @@ class ScheduleConfig:
     window: int = 8
     workers: str = "inline"
     max_events: int | None = None
+    # Fault tolerance (repro serve; also forced on by a FaultPlan)
+    supervised: bool = False
+    request_timeout_s: float | None = 30.0
+    fault_retries: int = 2
+    backoff_base_s: float = 0.05
+    recovery_rounds: int = 0
 
     # ------------------------------------------------------------------
     # Validation
@@ -144,6 +150,14 @@ class ScheduleConfig:
             )
         if self.max_events is not None and self.max_events < 1:
             raise ValueError("max_events must be >= 1")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive (or None)")
+        if self.fault_retries < 0:
+            raise ValueError("fault_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.recovery_rounds < 0:
+            raise ValueError("recovery_rounds must be >= 0")
         return self
 
     # ------------------------------------------------------------------
@@ -415,6 +429,60 @@ def add_schedule_arguments(
             help="print the report as machine-readable JSON (the wire "
             "to_dict() payload, without per-decision traces) instead "
             "of the human summary",
+        )
+        ft = parser.add_argument_group(
+            "fault tolerance options",
+            "shard supervision, journaling, and crash recovery",
+        )
+        ft.add_argument(
+            "--supervised",
+            action="store_true",
+            help="journal every state-mutating shard message, track "
+            "shard health (up/suspect/down/recovering), retry timeouts "
+            "with seeded backoff, and recover crashed shards by respawn "
+            "+ journal replay",
+        )
+        ft.add_argument(
+            "--request-timeout",
+            dest="request_timeout_s",
+            type=float,
+            default=defaults.request_timeout_s,
+            metavar="S",
+            help="per-request reply deadline in seconds on the process "
+            "transport (default 30)",
+        )
+        ft.add_argument(
+            "--fault-retries",
+            type=int,
+            default=defaults.fault_retries,
+            help="timeout retries (same sequence number; the worker "
+            "dedups) before a shard is marked down (default 2)",
+        )
+        ft.add_argument(
+            "--backoff-base-s",
+            dest="backoff_base_s",
+            type=float,
+            default=defaults.backoff_base_s,
+            metavar="S",
+            help="base of the seeded exponential retry backoff "
+            "(default 0.05)",
+        )
+        ft.add_argument(
+            "--recovery-rounds",
+            type=int,
+            default=defaults.recovery_rounds,
+            metavar="K",
+            help="0 recovers a dead shard immediately inside the failed "
+            "send; K>0 leaves it down for K routing rounds, failing "
+            "arrivals over to surviving shards (default 0)",
+        )
+        ft.add_argument(
+            "--chaos",
+            action="store_true",
+            help="wrap every shard in a seeded fault plan that crashes "
+            "it once (FaultPlan.kill_each_shard_once with the stream "
+            "seed) — a self-test of the recovery path; implies "
+            "supervision",
         )
     else:
         online = parser.add_argument_group(

@@ -50,12 +50,22 @@ from repro.scheduler.lifecycle import (
     FragmentationSample,
     MigrationRecord,
 )
+from repro.scheduler.faults import FaultInjectingClient, FaultPlan
 from repro.scheduler.requests import PlacementRequest
 from repro.scheduler.scheduler import FleetReport, GradedDecision
 from repro.scheduler.shard import (
     InlineShardClient,
     ProcessShardClient,
+    ShardCrashError,
+    ShardError,
     ShardSummary,
+    ShardTimeoutError,
+)
+from repro.scheduler.supervisor import (
+    HEALTH_DOWN,
+    MUTATING_OPS,
+    ShardDownError,
+    ShardSupervisor,
 )
 
 
@@ -86,6 +96,26 @@ class ServiceStats:
     shard_requests: List[int] = field(default_factory=list)
     #: Arrivals placed by each shard.
     shard_placed: List[int] = field(default_factory=list)
+    #: Whether shard supervision (journaling, health, recovery) was on.
+    supervised: bool = False
+    #: Shard crashes detected (dead pipe, dead process, injected kill).
+    crashes: int = 0
+    #: Request timeouts observed (wedged worker or dropped reply).
+    timeouts: int = 0
+    #: Timeout retries issued after a seeded exponential backoff sleep.
+    backoff_retries: int = 0
+    #: Arrivals re-routed to a surviving shard because their shard went
+    #: down with recovery deferred.
+    failovers: int = 0
+    #: Respawn-and-replay recoveries completed.
+    journal_replays: int = 0
+    #: Journaled messages re-sent during those replays.
+    replayed_messages: int = 0
+    #: Routing rounds that started with at least one shard still DOWN.
+    degraded_windows: int = 0
+    #: Arrivals whose placement was touched by a fault (re-routed, or
+    #: placed through a send that needed retries/recovery).
+    degraded_arrivals: int = 0
 
     def describe(self) -> str:
         lines = [
@@ -108,6 +138,19 @@ class ServiceStats:
                     )
                 )
             )
+        if self.supervised:
+            lines.append(
+                f"  supervision: {self.crashes} crashes, "
+                f"{self.timeouts} timeouts, "
+                f"{self.backoff_retries} backoff retries, "
+                f"{self.failovers} failovers"
+            )
+            lines.append(
+                f"  recovery: {self.journal_replays} journal replays "
+                f"({self.replayed_messages} messages), "
+                f"{self.degraded_windows} degraded windows, "
+                f"{self.degraded_arrivals} degraded arrivals"
+            )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -128,6 +171,15 @@ class ServiceStats:
             "exhausted": self.exhausted,
             "shard_requests": list(self.shard_requests),
             "shard_placed": list(self.shard_placed),
+            "supervised": self.supervised,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "backoff_retries": self.backoff_retries,
+            "failovers": self.failovers,
+            "journal_replays": self.journal_replays,
+            "replayed_messages": self.replayed_messages,
+            "degraded_windows": self.degraded_windows,
+            "degraded_arrivals": self.degraded_arrivals,
         }
 
     @classmethod
@@ -206,13 +258,27 @@ class SchedulerService:
         The full :class:`~repro.scheduler.config.ScheduleConfig`;
         ``shards``, ``window``, and ``workers`` select the service
         shape, everything else configures the per-shard engines exactly
-        as it would configure the monolithic schedulers.
+        as it would configure the monolithic schedulers.  The
+        supervision knobs (``supervised``, ``request_timeout_s``,
+        ``fault_retries``, ``backoff_base_s``, ``recovery_rounds``)
+        configure the fault-tolerance layer.
+    faults:
+        Optional :class:`~repro.scheduler.faults.FaultPlan`: every shard
+        client is wrapped in a
+        :class:`~repro.scheduler.faults.FaultInjectingClient` and
+        supervision is switched on (an unsupervised service could not
+        survive its own fault plan).  With ``faults=None`` and
+        ``config.supervised`` False, the service's wire bytes and
+        decisions are bit-for-bit those of the unsupervised service —
+        no ``seq`` keys, no journaling, nothing extra on the pipe.
 
     Use as a context manager (or call :meth:`close`) so process-mode
     workers are shut down.
     """
 
-    def __init__(self, config: ScheduleConfig) -> None:
+    def __init__(
+        self, config: ScheduleConfig, faults: FaultPlan | None = None
+    ) -> None:
         config.validate()
         if config.online_learning:
             raise ValueError(
@@ -226,22 +292,22 @@ class SchedulerService:
         self._by_name = machines_by_name(machines)
         n = config.shards
         self._shard_machines = [machines[shard::n] for shard in range(n)]
-        client_factory = (
-            ProcessShardClient
-            if config.workers == "process"
-            else InlineShardClient
+        self._fault_schedules = (
+            None
+            if faults is None
+            else [faults.bind(shard) for shard in range(n)]
         )
-        if config.workers == "process":
-            self.clients = [
-                client_factory(shard, config) for shard in range(n)
-            ]
-        else:
-            self.clients = [
-                client_factory(
-                    shard, config, machines=self._shard_machines[shard]
-                )
-                for shard in range(n)
-            ]
+        self.supervisor: ShardSupervisor | None = None
+        if config.supervised or faults is not None:
+            self.supervisor = ShardSupervisor(
+                n,
+                retries=config.fault_retries,
+                backoff_base_s=config.backoff_base_s,
+                recovery_rounds=config.recovery_rounds,
+                seed=config.seed,
+            )
+        self._sleep = time.sleep
+        self.clients = [self._make_client(shard) for shard in range(n)]
         self.summaries: List[ShardSummary] = [
             ShardSummary.initial(shard, self._shard_machines[shard])
             for shard in range(n)
@@ -252,6 +318,7 @@ class SchedulerService:
             transport=self.clients[0].transport,
             shard_requests=[0] * n,
             shard_placed=[0] * n,
+            supervised=self.supervisor is not None,
         )
         self.graded: List[GradedDecision] = []
         #: request id -> shard that finally owns it (placed it, or issued
@@ -263,6 +330,23 @@ class SchedulerService:
         self._outbox: List[List[List]] = [[] for _ in range(n)]
         #: (machine name, vcpus) -> minimal block nodes | None, memoized.
         self._needed: Dict[Tuple[str, int], int | None] = {}
+
+    def _make_client(self, shard: int):
+        """Build (or rebuild, on recovery) one shard's client, re-wrapped
+        with its fault schedule so injected faults survive respawns."""
+        if self.config.workers == "process":
+            client = ProcessShardClient(
+                shard, self.config, timeout_s=self.config.request_timeout_s
+            )
+        else:
+            client = InlineShardClient(
+                shard, self.config, machines=self._shard_machines[shard]
+            )
+        if self._fault_schedules is not None:
+            client = FaultInjectingClient(
+                client, self._fault_schedules[shard]
+            )
+        return client
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -359,23 +443,165 @@ class SchedulerService:
         """One worker round-trip; returns (response, seconds).
 
         Deferred departures for the shard are delivered first, so the
-        shard always processes its events in stream order.
+        shard always processes its events in stream order.  With the
+        supervisor off this is the plain request path — no sequence
+        numbers, no journaling, nothing extra on the wire.
         """
         if message.get("op") != "depart":
             self._flush_departures(shard)
+        if self.supervisor is None:
+            start = time.perf_counter()
+            response = self.clients[shard].request(message)
+            elapsed = time.perf_counter() - start
+            self._update_summary(shard, response)
+            return response, elapsed
+        return self._send_supervised(shard, message)
+
+    def _send_supervised(
+        self, shard: int, message: Dict
+    ) -> Tuple[Dict, float]:
+        """One supervised round-trip: journal first (state-mutating ops),
+        bounded timeout retries with seeded backoff, then either an
+        immediate respawn-and-replay or a deferred-recovery handoff.
+
+        Raises :class:`~repro.scheduler.supervisor.ShardDownError` when
+        the shard is (or just went) DOWN with recovery deferred — the
+        caller fails the work over to a surviving shard; the journal
+        entry has been rolled back so the eventual replay cannot
+        double-apply it.
+        """
+        supervisor = self.supervisor
         start = time.perf_counter()
-        response = self.clients[shard].request(message)
-        elapsed = time.perf_counter() - start
-        self._update_summary(shard, response)
-        return response, elapsed
+        if supervisor.health[shard] == HEALTH_DOWN:
+            raise ShardDownError(shard, "down (recovery deferred)")
+        entry = None
+        wire_message = message
+        if message["op"] in MUTATING_OPS:
+            entry = supervisor.journal(shard, message)
+            wire_message = entry.message
+        attempt = 0
+        while True:
+            try:
+                response = self.clients[shard].request(
+                    wire_message, timeout_s=self.config.request_timeout_s
+                )
+            except ShardTimeoutError as caught:
+                error: ShardError = caught
+                self.stats.timeouts += 1
+                supervisor.mark_suspect(shard)
+                if attempt < supervisor.retries:
+                    attempt += 1
+                    self.stats.backoff_retries += 1
+                    self._sleep(supervisor.backoff_seconds(attempt))
+                    continue
+                break
+            except ShardCrashError as caught:
+                error = caught
+                self.stats.crashes += 1
+                break
+            else:
+                supervisor.mark_up(shard)
+                self._update_summary(shard, response)
+                return response, time.perf_counter() - start
+        # The shard is no longer trustworthy.  The only consistent
+        # futures are (a) rebuild it now and replay the journal, or
+        # (b) roll the in-flight work back and go degraded.
+        self.clients[shard].kill()
+        supervisor.mark_down(shard, self.stats.rounds)
+        if (
+            entry is not None
+            and supervisor.recovery_rounds > 0
+            and self._has_other_up_shard(shard)
+        ):
+            # Deferred recovery: only mutating work can fail over; a
+            # read (summary/report) is needed now, so fall through to
+            # the immediate rebuild below.
+            supervisor.rollback(shard, entry)
+            raise ShardDownError(shard, f"went down: {error}") from error
+        last_response = self._recover_shard(shard)
+        if entry is not None:
+            # The failed message was journaled before the send, so the
+            # replay just applied it: the final replay response is this
+            # message's response.
+            return last_response, time.perf_counter() - start
+        # Read-only message (summary/report): resend to the fresh worker.
+        return self._send_supervised(shard, message)
+
+    def _recover_shard(self, shard: int) -> Dict | None:
+        """Rebuild a dead shard: respawn the worker from the serialized
+        config, reset the front-end's cached :class:`ShardSummary` (the
+        fresh worker is empty until the replay finishes), and replay the
+        journal in sequence order to reconstruct the shard's exact
+        pre-crash state.  Pending departures in ``self._outbox[shard]``
+        were never journaled and survive untouched — they ride after the
+        shard is back UP.  Replay is idempotent (worker-side sequence
+        dedup), and a fault firing mid-replay just restarts the rebuild:
+        fault actions fire at most once, so the loop converges.  Returns
+        the last replay response (None for an empty journal).
+        """
+        supervisor = self.supervisor
+        while True:
+            supervisor.mark_recovering(shard)
+            self.clients[shard].kill()
+            self.clients[shard] = self._make_client(shard)
+            self.summaries[shard] = ShardSummary.initial(
+                shard, self._shard_machines[shard]
+            )
+            last_response: Dict | None = None
+            try:
+                for entry in supervisor.journals[shard]:
+                    last_response = self.clients[shard].request(
+                        entry.message,
+                        timeout_s=self.config.request_timeout_s,
+                    )
+                    self.stats.replayed_messages += 1
+            except ShardTimeoutError:
+                self.stats.timeouts += 1
+                continue
+            except ShardCrashError:
+                self.stats.crashes += 1
+                continue
+            break
+        self.stats.journal_replays += 1
+        supervisor.mark_up(shard)
+        if last_response is not None:
+            self._update_summary(shard, last_response)
+        return last_response
+
+    def _recover_all(self) -> None:
+        """Bring every DOWN shard back regardless of its recovery round —
+        report merging needs all shards live."""
+        if self.supervisor is None:
+            return
+        for shard in sorted(self.supervisor.down_shards()):
+            self._recover_shard(shard)
+
+    def _down_shards(self) -> frozenset:
+        if self.supervisor is None:
+            return frozenset()
+        return self.supervisor.down_shards()
+
+    def _has_other_up_shard(self, shard: int) -> bool:
+        down = self.supervisor.down_shards()
+        return any(
+            other != shard and other not in down
+            for other in range(self.config.shards)
+        )
 
     def _flush_departures(self, shard: int) -> None:
         events = self._outbox[shard]
         if not events:
             return
         self._outbox[shard] = []
+        try:
+            self._send(shard, {"op": "depart", "events": events})
+        except ShardDownError:
+            # The owner went down with recovery deferred: the journal
+            # entry was rolled back, so nothing was applied — re-queue
+            # the pairs; they ride again after the shard recovers.
+            self._outbox[shard] = events + self._outbox[shard]
+            return
         self.stats.departure_batches += 1
-        self._send(shard, {"op": "depart", "events": events})
 
     # ------------------------------------------------------------------
     # Placement rounds
@@ -392,10 +618,11 @@ class SchedulerService:
         """
         self.stats.rounds += 1
         self.stats.routed += len(items)
+        down = self._begin_round()
         debits = [0] * self.config.shards
         assigned: List[int] = []
         for request, _ in items:
-            shard = self._rank_shards(request.vcpus, debits)[0]
+            shard = self._route(request.vcpus, debits, down)
             assigned.append(shard)
             debits[shard] += self._min_debit(request.vcpus)
 
@@ -403,12 +630,33 @@ class SchedulerService:
         for position, shard in enumerate(assigned):
             groups.setdefault(shard, []).append(position)
         results: List[GradedDecision | None] = [None] * len(items)
+        finalized: set = set()
         for shard in sorted(groups):
             positions = groups[shard]
             message = self._window_message(
                 op, [items[position] for position in positions]
             )
-            response, elapsed = self._send(shard, message)
+            faults_before = self.stats.crashes + self.stats.timeouts
+            try:
+                response, elapsed = self._send(shard, message)
+            except ShardDownError:
+                # The shard died mid-window with recovery deferred: fail
+                # its slice over to surviving shards, one request at a
+                # time, through the normal routing machinery.
+                self.stats.failovers += len(positions)
+                self.stats.degraded_arrivals += len(positions)
+                for position in positions:
+                    request, event_time = items[position]
+                    results[position], assigned[position] = self._failover(
+                        request, event_time, op
+                    )
+                    finalized.add(position)
+                continue
+            if self.stats.crashes + self.stats.timeouts != faults_before:
+                # Placed correctly, but only through retries or an
+                # inline respawn-and-replay: these arrivals rode through
+                # a fault window.
+                self.stats.degraded_arrivals += len(positions)
             per_request = elapsed / len(positions)
             for position, graded in zip(positions, response["graded"]):
                 entry = self._from_wire(graded, shard)
@@ -419,9 +667,10 @@ class SchedulerService:
         for position, (request, event_time) in enumerate(items):
             entry = results[position]
             shard = assigned[position]
-            entry, shard = self._retry_if_rejected(
-                entry, shard, request, event_time, op
-            )
+            if position not in finalized:
+                entry, shard = self._retry_if_rejected(
+                    entry, shard, request, event_time, op
+                )
             self._owner[request.request_id] = shard
             self.stats.shard_requests[shard] += 1
             if entry.decision.placed:
@@ -429,6 +678,35 @@ class SchedulerService:
             self.graded.append(entry)
             finished.append(entry)
         return finished
+
+    def _begin_round(self) -> frozenset:
+        """Recover shards whose deferred-recovery window has elapsed;
+        returns the shards still DOWN (excluded from routing this
+        round).  A degraded round is one that starts with any shard
+        still DOWN."""
+        if self.supervisor is None:
+            return frozenset()
+        for shard in sorted(self.supervisor.down_shards()):
+            if self.supervisor.due_for_recovery(shard, self.stats.rounds):
+                self._recover_shard(shard)
+        down = self.supervisor.down_shards()
+        if down:
+            self.stats.degraded_windows += 1
+        return down
+
+    def _route(
+        self, vcpus: int, debits: Sequence[int], exclude: frozenset
+    ) -> int:
+        """Best shard for a request, skipping DOWN shards; if *every*
+        shard is DOWN, force-recover the lowest-numbered one — the
+        service never refuses to route."""
+        ranked = self._rank_shards(vcpus, debits, exclude=exclude)
+        if ranked:
+            return ranked[0]
+        self._recover_shard(sorted(exclude)[0])
+        return self._rank_shards(
+            vcpus, debits, exclude=self._down_shards()
+        )[0]
 
     def _window_message(
         self, op: str, items: Sequence[Tuple[PlacementRequest, float]]
@@ -464,15 +742,25 @@ class SchedulerService:
         tried = {shard}
         saw_capacity = entry.decision.reject_reason == "capacity"
         accumulated = entry.decision_seconds
-        while len(tried) < self.config.shards and not entry.decision.placed:
-            next_shard = self._rank_shards(
+        while not entry.decision.placed:
+            ranked = self._rank_shards(
                 request.vcpus,
                 [0] * self.config.shards,
-                exclude=frozenset(tried),
-            )[0]
+                exclude=frozenset(tried) | self._down_shards(),
+            )
+            if not ranked:
+                break  # every live shard has had a look
+            next_shard = ranked[0]
             self.stats.retries += 1
             message = self._window_message(op, [(request, event_time)])
-            response, elapsed = self._send(next_shard, message)
+            try:
+                response, elapsed = self._send(next_shard, message)
+            except ShardDownError:
+                # The retry target died mid-retry: skip it and keep
+                # looking at the remaining live shards.
+                self.stats.degraded_arrivals += 1
+                tried.add(next_shard)
+                continue
             accumulated += elapsed
             entry = self._from_wire(response["graded"][0], next_shard)
             entry.decision_seconds = accumulated
@@ -488,6 +776,40 @@ class SchedulerService:
         if saw_capacity:
             entry.decision.reject_reason = "capacity"
         return entry, shard
+
+    def _failover(
+        self,
+        request: PlacementRequest,
+        event_time: float,
+        op: str,
+    ) -> Tuple[GradedDecision, int]:
+        """Place one arrival whose routed shard went down mid-window:
+        re-route to the best surviving shard (force-recovering one if
+        every shard is down) and run the normal reject-retry arm from
+        there.  Terminates because every loop iteration either returns,
+        downs a shard (finite), or recovers one — and fault actions fire
+        at most once, so a recovered shard cannot crash-loop."""
+        while True:
+            exclude = self._down_shards()
+            ranked = self._rank_shards(
+                request.vcpus,
+                [0] * self.config.shards,
+                exclude=exclude,
+            )
+            if not ranked:
+                self._recover_shard(sorted(exclude)[0])
+                continue
+            shard = ranked[0]
+            message = self._window_message(op, [(request, event_time)])
+            try:
+                response, elapsed = self._send(shard, message)
+            except ShardDownError:
+                continue  # that one died too; re-rank the survivors
+            entry = self._from_wire(response["graded"][0], shard)
+            entry.decision_seconds = elapsed
+            return self._retry_if_rejected(
+                entry, shard, request, event_time, op
+            )
 
     # ------------------------------------------------------------------
     # Drivers
@@ -590,6 +912,9 @@ class SchedulerService:
     def _merge_report(
         self, n_requests: int, elapsed_seconds: float, *, churn: bool
     ) -> FleetReport:
+        # Every shard must answer a report: bring DOWN shards back first
+        # (their outboxes then flush through the report sends below).
+        self._recover_all()
         reports = []
         for shard in range(self.config.shards):
             response, _ = self._send(shard, {"op": "report"})

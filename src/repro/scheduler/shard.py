@@ -52,6 +52,29 @@ from repro.scheduler.scheduler import FleetReport, GradedDecision, grade_decisio
 from repro.topology.machine import MachineTopology
 
 
+class ShardError(RuntimeError):
+    """A shard transport failure the front-end can reason about."""
+
+    def __init__(self, shard_id: int, detail: str) -> None:
+        super().__init__(f"shard {shard_id}: {detail}")
+        self.shard_id = shard_id
+        self.detail = detail
+
+
+class ShardCrashError(ShardError):
+    """The worker died: its pipe closed, its process exited, or a fault
+    plan killed it.  Whatever state it held is gone — recovery means a
+    respawn plus a journal replay, never a plain retry."""
+
+
+class ShardTimeoutError(ShardError):
+    """The worker did not answer within the request timeout.  The message
+    may or may not have been applied (a lost reply looks identical to a
+    wedged worker), which is exactly why retries carry the same sequence
+    number: an applied message is answered from the worker's dedup cache
+    instead of being applied twice."""
+
+
 @dataclass(frozen=True)
 class ShardSummary:
     """The cheap per-shard state the front-end routes on.
@@ -190,6 +213,11 @@ class ShardWorker:
         #: Wall-clock seconds spent inside handle() — the shard's own
         #: busy time, reported alongside the front-end's elapsed time.
         self.busy_seconds = 0.0
+        #: Highest supervised sequence number applied, and its response.
+        #: A retried message whose reply was lost is answered from here
+        #: instead of being applied twice (see ShardTimeoutError).
+        self._applied_seq = -1
+        self._last_response: Dict | None = None
 
     # ------------------------------------------------------------------
     # Protocol
@@ -197,6 +225,11 @@ class ShardWorker:
 
     def handle(self, message: Dict) -> Dict:
         """Process one protocol message; returns the JSON-safe response."""
+        seq = message.get("seq")
+        if seq is not None and seq <= self._applied_seq:
+            if seq == self._applied_seq and self._last_response is not None:
+                return self._last_response
+            return {"deduped": True, "summary": self.summary().to_dict()}
         start = time.perf_counter()
         op = message["op"]
         if op == "arrive":
@@ -217,6 +250,9 @@ class ShardWorker:
             raise ValueError(f"unknown shard op {op!r}")
         response["summary"] = self.summary().to_dict()
         self.busy_seconds += time.perf_counter() - start
+        if seq is not None:
+            self._applied_seq = seq
+            self._last_response = response
         return response
 
     def _event(
@@ -330,25 +366,48 @@ class InlineShardClient:
         machines: Sequence[MachineTopology] | None = None,
     ) -> None:
         self.shard_id = shard_id
-        self.worker = ShardWorker(shard_id, config, machines=machines)
+        self.worker: ShardWorker | None = ShardWorker(
+            shard_id, config, machines=machines
+        )
 
-    def request(self, message: Dict) -> Dict:
+    def request(self, message: Dict, timeout_s: float | None = None) -> Dict:
+        if self.worker is None:
+            raise ShardCrashError(self.shard_id, "worker was killed")
         payload = json.loads(json.dumps(message))
         return json.loads(json.dumps(self.worker.handle(payload)))
+
+    def kill(self) -> None:
+        """Simulate a crash: the worker and all its state are dropped, and
+        every later request raises :class:`ShardCrashError` — the same
+        contract a dead process presents to the front-end."""
+        self.worker = None
 
     def close(self) -> None:  # symmetric with ProcessShardClient
         pass
 
 
-def _shard_worker_main(connection, shard_id: int, config_data: Dict) -> None:
+def _shard_worker_main(
+    connection, shard_id: int, config_data: Dict, parent_connection=None
+) -> None:
     """Entry point of one shard worker process: rebuild the shard from
     the serialized config, then serve the message loop until ``stop``."""
     from repro.scheduler.config import ScheduleConfig
 
+    if parent_connection is not None:
+        # Drop the fork-inherited copy of the parent's pipe end: while
+        # the child holds it open, the parent closing its end would
+        # never EOF this worker's recv().
+        parent_connection.close()
     worker = ShardWorker(shard_id, ScheduleConfig.from_dict(config_data))
     while True:
-        message = connection.recv()
-        connection.send(worker.handle(message))
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            return  # parent hung up (crashed or closed): exit cleanly
+        try:
+            connection.send(worker.handle(message))
+        except (BrokenPipeError, OSError):
+            return  # reply pipe gone mid-send: nothing left to serve
         if message.get("op") == "stop":
             return
 
@@ -365,30 +424,70 @@ class ProcessShardClient:
 
     transport = "process"
 
-    def __init__(self, shard_id: int, config) -> None:
+    def __init__(
+        self, shard_id: int, config, *, timeout_s: float | None = None
+    ) -> None:
         self.shard_id = shard_id
+        #: Default reply deadline for request(); None blocks forever.
+        self.timeout_s = timeout_s
         parent, child = multiprocessing.Pipe()
         self._connection = parent
         self._process = multiprocessing.Process(
             target=_shard_worker_main,
-            args=(child, shard_id, config.to_dict()),
+            args=(child, shard_id, config.to_dict(), parent),
             daemon=True,
         )
-        self._process.start()
-        child.close()
+        try:
+            self._process.start()
+        finally:
+            # The parent must not hold the child's pipe end: while it
+            # does, a dead worker never EOFs the parent's reads and the
+            # descriptor itself leaks.
+            child.close()
 
-    def request(self, message: Dict) -> Dict:
-        self._connection.send(message)
-        return self._connection.recv()
+    def request(self, message: Dict, timeout_s: float | None = None) -> Dict:
+        timeout = self.timeout_s if timeout_s is None else timeout_s
+        try:
+            self._connection.send(message)
+            if timeout is not None and not self._connection.poll(timeout):
+                raise ShardTimeoutError(
+                    self.shard_id, f"no reply within {timeout:.3g}s"
+                )
+            return self._connection.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError) as error:
+            raise ShardCrashError(
+                self.shard_id,
+                f"worker pipe closed ({type(error).__name__})",
+            ) from error
+
+    def kill(self) -> None:
+        """Hard-kill the worker (no stop handshake) and release the pipe —
+        what a crash fault does, and close()'s last resort."""
+        try:
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=5.0)
+                if self._process.is_alive():  # pragma: no cover - defensive
+                    self._process.kill()
+                    self._process.join(timeout=5.0)
+        finally:
+            try:
+                self._connection.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
 
     def close(self) -> None:
-        if self._process.is_alive():
-            try:
-                self.request({"op": "stop"})
-            except (BrokenPipeError, EOFError, OSError):
-                pass
-        self._process.join(timeout=5.0)
-        if self._process.is_alive():  # pragma: no cover - defensive
-            self._process.terminate()
+        try:
+            if self._process.is_alive():
+                try:
+                    self.request(
+                        {"op": "stop"},
+                        timeout_s=5.0 if self.timeout_s is None else None,
+                    )
+                except (ShardError, OSError):
+                    pass
             self._process.join(timeout=5.0)
-        self._connection.close()
+        finally:
+            # The parent connection is closed (and a stuck worker is
+            # terminated) even when the handshake or join above fails.
+            self.kill()

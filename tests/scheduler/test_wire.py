@@ -16,15 +16,19 @@ from repro.core.memo import CacheInfo
 from repro.core.serialize import machines_by_name
 from repro.scheduler import (
     ChurnStats,
+    FaultAction,
+    FaultPlan,
     FleetScheduler,
     FragmentationSample,
     GradedDecision,
+    JournalEntry,
     LifecycleScheduler,
     MigrationRecord,
     PlacementRequest,
     RebalanceConfig,
     ScheduleConfig,
     ServiceStats,
+    ShardJournal,
     ShardSummary,
     ShardWorker,
     generate_churn_stream,
@@ -161,14 +165,96 @@ class TestStatsWire:
             exhausted=1,
             shard_requests=[10, 9, 9, 9],
             shard_placed=[10, 8, 9, 9],
+            supervised=True,
+            crashes=2,
+            timeouts=5,
+            backoff_retries=4,
+            failovers=3,
+            journal_replays=2,
+            replayed_messages=17,
+            degraded_windows=1,
+            degraded_arrivals=6,
         )
         assert ServiceStats.from_dict(wire(stats.to_dict())) == stats
+
+    def test_service_stats_accepts_pre_supervision_payloads(self):
+        """A payload recorded before the fault counters existed still
+        loads: the new fields default to the unsupervised zeros."""
+        stats = ServiceStats(n_shards=2, window=8)
+        payload = wire(stats.to_dict())
+        for key in (
+            "supervised",
+            "crashes",
+            "timeouts",
+            "backoff_retries",
+            "failovers",
+            "journal_replays",
+            "replayed_messages",
+            "degraded_windows",
+            "degraded_arrivals",
+        ):
+            del payload[key]
+        rebuilt = ServiceStats.from_dict(payload)
+        assert rebuilt.supervised is False
+        assert rebuilt.crashes == 0
+        assert rebuilt.n_shards == 2
 
     def test_online_stats_round_trip(self):
         stats = OnlineStats()
         assert OnlineStats.from_dict(wire(stats.to_dict())).to_dict() == (
             stats.to_dict()
         )
+
+
+class TestFaultWire:
+    def test_fault_action_round_trip(self):
+        action = FaultAction(shard=2, at_message=7, kind="delay", delay_ms=3.5)
+        assert FaultAction.from_dict(wire(action.to_dict())) == action
+
+    def test_fault_plan_round_trip(self):
+        plan = FaultPlan.kill_each_shard_once(4, seed=11)
+        rebuilt = FaultPlan.from_dict(wire(plan.to_dict()))
+        assert rebuilt == plan
+        assert rebuilt.seed == 11
+        # A rebuilt plan binds to identical per-shard schedules.
+        for shard in range(4):
+            assert [a.to_dict() for a in rebuilt.bind(shard)._pending.get(
+                plan.actions[shard].at_message, []
+            )] == [plan.actions[shard].to_dict()]
+
+    def test_fault_plan_generators_are_seeded(self):
+        assert FaultPlan.kill_each_shard_once(3, seed=5) == (
+            FaultPlan.kill_each_shard_once(3, seed=5)
+        )
+        assert FaultPlan.storm(3, seed=5) == FaultPlan.storm(3, seed=5)
+        assert FaultPlan.storm(3, seed=5) != FaultPlan.storm(3, seed=6)
+
+    def test_fault_action_validates(self):
+        with pytest.raises(ValueError):
+            FaultAction(shard=0, at_message=0, kind="explode")
+        with pytest.raises(ValueError):
+            FaultAction(shard=0, at_message=-1, kind="crash")
+        with pytest.raises(ValueError):
+            FaultAction(shard=-1, at_message=0, kind="crash")
+
+    def test_journal_entry_round_trip(self):
+        entry = JournalEntry(
+            seq=3,
+            message={"op": "depart", "events": [[4, 1.5]], "seq": 3},
+        )
+        assert JournalEntry.from_dict(wire(entry.to_dict())) == entry
+
+    def test_shard_journal_round_trip_preserves_sequence(self):
+        journal = ShardJournal()
+        journal.append({"op": "arrive", "events": []})
+        rolled = journal.append({"op": "depart", "events": [[1, 2.0]]})
+        journal.rollback(rolled)
+        journal.append({"op": "decide", "requests": []})
+        rebuilt = ShardJournal.from_dict(wire(journal.to_dict()))
+        assert rebuilt.to_dict() == journal.to_dict()
+        # Sequence numbers are never reused, even across rollback.
+        assert rebuilt.next_seq == 3
+        assert [entry.seq for entry in rebuilt] == [0, 2]
 
 
 class TestConfigWire:
@@ -186,6 +272,11 @@ class TestConfigWire:
             window=5,
             workers="process",
             max_events=100,
+            supervised=True,
+            request_timeout_s=7.5,
+            fault_retries=4,
+            backoff_base_s=0.01,
+            recovery_rounds=2,
         )
         rebuilt = ScheduleConfig.from_dict(wire(config.to_dict()))
         assert rebuilt == config
