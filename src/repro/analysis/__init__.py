@@ -12,8 +12,10 @@ runtime:
 * **memo-invalidation** (``memo-invalidation``) — mutations of memoized
   state bump the matching version/invalidator, table-driven via
   :data:`repro.analysis.invalidation.CACHE_SURFACES`;
-* **pipe-safety** (``pipe-safety``) — shard transport payloads stay
-  JSON-safe.
+* **pipe-safety** (``pipe-safety``, ``blocking-dispatch``) — shard
+  transport payloads stay JSON-safe, and dispatch loops in the service
+  fire messages through the overlapped send/gather helpers instead of
+  blocking ``client.request()`` calls.
 
 Suppress a finding inline with ``# repro-lint: disable=<rule> — reason``
 or a whole file with ``# repro-lint: disable-file=<rule>``.
@@ -43,7 +45,7 @@ from repro.analysis.invalidation import (
     CacheSurface,
     MemoInvalidationRule,
 )
-from repro.analysis.pipesafety import PipeSafetyRule
+from repro.analysis.pipesafety import BlockingDispatchRule, PipeSafetyRule
 from repro.analysis.wire import WireSchemaRule
 
 #: Every registered rule class, keyed by rule id.  ``default_rules()``
@@ -58,6 +60,7 @@ RULE_CLASSES: Dict[str, Type[Rule]] = {
         WireSchemaRule,
         MemoInvalidationRule,
         PipeSafetyRule,
+        BlockingDispatchRule,
     )
 }
 

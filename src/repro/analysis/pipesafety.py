@@ -38,8 +38,9 @@ TRANSPORT_SUFFIXES = (
     "scheduler/faults.py",
 )
 
-#: Payload-bearing call attributes.
-_SEND_ATTRS = frozenset({"send", "request", "_send"})
+#: Payload-bearing call attributes (the split protocol fires payloads
+#: through ``send``/``request_many`` as well as the blocking ``request``).
+_SEND_ATTRS = frozenset({"send", "request", "request_many", "_send"})
 
 #: Calls that produce JSON-safe values; descent stops at them.
 _SAFE_CALLS = frozenset(
@@ -241,4 +242,75 @@ class PipeSafetyRule(Rule):
         return
 
 
-__all__ = ["PipeSafetyRule", "TRANSPORT_SUFFIXES", "WIRE_CLASSES"]
+#: Functions in ``scheduler/service.py`` allowed to issue a blocking
+#: ``client.request(...)`` — the supervised send helpers (one round trip
+#: each, or the sequential A/B baseline driven through them).  Dispatch
+#: loops everywhere else must fire with ``send()`` and gather.
+SANCTIONED_DISPATCH = frozenset(
+    {"_send", "_send_supervised", "_resolve_supervised", "_tracked_request"}
+)
+
+
+class BlockingDispatchRule(Rule):
+    """Flag blocking ``client.request(...)`` calls inside service loops.
+
+    Overlapped dispatch exists precisely because a sequential
+    ``for shard in ...: client.request(...)`` loop serializes the worker
+    processes; after the split-protocol refactor the only sanctioned
+    blocking call sites are the supervised send helpers
+    (:data:`SANCTIONED_DISPATCH`).  A ``.request()`` reappearing inside a
+    loop in ``scheduler/service.py`` is a perf regression waiting to
+    land — fire the messages with ``send()`` and gather instead.
+    """
+
+    id = "blocking-dispatch"
+    packages = None  # scoped by module suffix instead
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if module.subpackage is None:
+            return True  # standalone fixtures opt in by construction
+        normalized = module.path.replace("\\", "/")
+        return normalized.endswith("scheduler/service.py")
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        seen: Set[tuple] = set()
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name in SANCTIONED_DISPATCH:
+                continue
+            for loop in ast.walk(func):
+                if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                    continue
+                for node in ast.walk(loop):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "request"
+                    ):
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in seen:
+                        continue  # nested loops / functions walk twice
+                    seen.add(key)
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "blocking client.request() inside a dispatch "
+                            "loop serializes the shards; fire with send() "
+                            "and gather replies (only the supervised send "
+                            "helpers may call request() directly)",
+                        )
+                    )
+        return findings
+
+
+__all__ = [
+    "BlockingDispatchRule",
+    "PipeSafetyRule",
+    "SANCTIONED_DISPATCH",
+    "TRANSPORT_SUFFIXES",
+    "WIRE_CLASSES",
+]

@@ -18,6 +18,7 @@ property the single-shard-equals-monolith tests lean on.
 from __future__ import annotations
 
 import argparse
+import itertools
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Tuple
 
@@ -74,6 +75,11 @@ class ScheduleConfig:
     window: int = 8
     workers: str = "inline"
     max_events: int | None = None
+    #: Overlapped dispatch: fire every shard's message for a routing
+    #: phase, then gather replies in shard order.  Results are
+    #: bit-for-bit identical either way; False (--no-overlap) keeps the
+    #: serial one-request-at-a-time baseline for A/B timing.
+    overlap: bool = True
     # Fault tolerance (repro serve; also forced on by a FaultPlan)
     supervised: bool = False
     request_timeout_s: float | None = 30.0
@@ -233,12 +239,32 @@ class ScheduleConfig:
     def machine_list(self) -> List[MachineTopology]:
         """One topology per host, in host-id order.
 
-        The 'mixed' fleet interleaves half AMD / half Intel exactly like
-        :meth:`~repro.scheduler.fleet.Fleet.mixed`, so a fleet built from
-        this list equals the fleet :meth:`build_fleet` returns — the
-        sharded service partitions this list across shards.
+        Built directly instead of via :meth:`build_fleet`: every
+        process-transport worker calls this at startup to find its
+        slice, and at 100k hosts materializing a full Fleet per worker
+        would dominate spawn time.  The 'mixed' fleet interleaves half
+        AMD / half Intel exactly like
+        :meth:`~repro.scheduler.fleet.Fleet.mixed`, so a fleet built
+        from this list equals the fleet :meth:`build_fleet` returns —
+        the sharded service partitions this list across shards.
         """
-        return [host.machine for host in self.build_fleet().hosts]
+        if self.machine == "mixed":
+            half = self.hosts // 2
+            rows = [
+                row
+                for row in (
+                    [PRESETS["amd"]()] * (self.hosts - half),
+                    [PRESETS["intel"]()] * half,
+                )
+                if row
+            ]
+            return [
+                machine
+                for batch in itertools.zip_longest(*rows)
+                for machine in batch
+                if machine is not None
+            ]
+        return [PRESETS[self.machine]()] * self.hosts
 
     def build_fleet(self) -> Fleet:
         if self.machine == "mixed":
@@ -424,6 +450,15 @@ def add_schedule_arguments(
             "runs; default: drain the whole stream)",
         )
         service.add_argument(
+            "--no-overlap",
+            dest="overlap",
+            action="store_false",
+            help="dispatch shard round trips one at a time instead of "
+            "firing every shard's message and gathering the replies "
+            "(the serial A/B baseline; decisions and reports are "
+            "bit-for-bit identical either way)",
+        )
+        service.add_argument(
             "--emit-json",
             action="store_true",
             help="print the report as machine-readable JSON (the wire "
@@ -449,7 +484,9 @@ def add_schedule_arguments(
             default=defaults.request_timeout_s,
             metavar="S",
             help="per-request reply deadline in seconds on the process "
-            "transport (default 30)",
+            "transport, stamped when the message is sent; overlapped "
+            "dispatch runs every in-flight shard's deadline "
+            "concurrently (default 30)",
         )
         ft.add_argument(
             "--fault-retries",

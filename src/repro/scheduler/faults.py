@@ -216,6 +216,9 @@ class FaultInjectingClient:
         #: Cleared only by respawning the client; latched failures do not
         #: consume message indices, so retries stay deterministic.
         self._latched: str | None = None
+        #: Outcomes of split-protocol sends, oldest first, consumed by
+        #: recv(): ("ok" | "drop" | "wedge", fired message index | None).
+        self._outcomes: List[tuple] = []
 
     def request(self, message: Dict, timeout_s: float | None = None) -> Dict:
         if self._latched == "crash":
@@ -245,7 +248,98 @@ class FaultInjectingClient:
             time.sleep(action.delay_ms / 1000.0)
         return self.inner.request(message, timeout_s)
 
+    # -- split protocol (overlapped dispatch) ---------------------------
+    #
+    # The same fault semantics, decomposed so the front-end can keep
+    # several shards' messages in flight at once: a crash fires at
+    # ``send`` (the pipe is dead before anything else happens), while a
+    # wedge or dropped reply surfaces at ``recv`` — exactly where a real
+    # lost reply is observed.  Outcomes queue FIFO per send, so the
+    # pairing stays deterministic however dispatch is interleaved.
+
+    def send(self, message: Dict, timeout_s: float | None = None) -> None:
+        if self._latched == "crash":
+            raise ShardCrashError(self.shard_id, "crashed by fault plan")
+        if self._latched == "wedge":
+            # Nothing is delivered; recv() reports the timeout.
+            self._outcomes.append(("wedge", None))
+            return
+        action = self.schedule.next_action()
+        if action is not None:
+            index = self.schedule.messages_seen - 1
+            if action.kind == "crash":
+                self._latched = "crash"
+                self.inner.kill()
+                raise ShardCrashError(
+                    self.shard_id, f"injected crash at message #{index}"
+                )
+            if action.kind == "wedge":
+                self._latched = "wedge"
+                self._outcomes.append(("wedge", index))
+                return
+            if action.kind == "drop":
+                self.inner.send(message, timeout_s)
+                self._outcomes.append(("drop", index))
+                return
+            time.sleep(action.delay_ms / 1000.0)
+        self.inner.send(message, timeout_s)
+        self._outcomes.append(("ok", None))
+
+    def recv(self, timeout_s: float | None = None) -> Dict:
+        if not self._outcomes:
+            return self.inner.recv(timeout_s)
+        kind, index = self._outcomes.pop(0)
+        if kind == "wedge":
+            raise ShardTimeoutError(
+                self.shard_id,
+                "wedged by fault plan"
+                if index is None
+                else f"injected wedge at message #{index}",
+            )
+        if kind == "drop":
+            # The message was applied, but its reply is lost in transit.
+            self.inner.recv(timeout_s)
+            raise ShardTimeoutError(
+                self.shard_id,
+                f"injected dropped reply at message #{index}",
+            )
+        return self.inner.recv(timeout_s)
+
+    def request_many(
+        self,
+        messages,
+        timeout_s: float | None = None,
+        on_response=None,
+    ) -> List[Dict]:
+        """Sequential on purpose: fault actions fire by message index,
+        and pipelining would decouple the index from the delivery."""
+        responses = []
+        for message in messages:
+            response = self.request(message, timeout_s)
+            if on_response is not None:
+                on_response(response)
+            responses.append(response)
+        return responses
+
+    # -- gather surface -------------------------------------------------
+
+    def reply_ready(self) -> bool:
+        if self._outcomes and self._outcomes[0][0] == "wedge":
+            return True  # the reply will never arrive; recv() raises now
+        return self.inner.reply_ready()
+
+    def gather_connection(self):
+        if self._outcomes and self._outcomes[0][0] == "wedge":
+            return None
+        return self.inner.gather_connection()
+
+    def recv_deadline(self) -> float | None:
+        if self._outcomes and self._outcomes[0][0] == "wedge":
+            return None
+        return self.inner.recv_deadline()
+
     def kill(self) -> None:
+        self._outcomes = []
         self.inner.kill()
 
     def close(self) -> None:

@@ -32,12 +32,24 @@ With one shard and a window of one, the service is the monolithic
 :class:`~repro.scheduler.lifecycle.LifecycleScheduler` behind a wire
 protocol: the reference-stream tests assert the decisions are
 bit-for-bit identical.
+
+Dispatch is *overlapped* by default: each phase of a routing round
+(departure flush, then the window itself) journals every mutating
+message first, fires every shard's message, and gathers the replies via
+``multiprocessing.connection.wait`` — processing them in shard order
+regardless of arrival order, so routing, retries, summaries, and merged
+reports are bit-for-bit those of the sequential ``--no-overlap``
+baseline while the worker processes run their slices concurrently.
+Failures surface at the gather and are resolved sequentially in shard
+order through the same retry/recovery tail the sequential path uses, so
+fault handling stays deterministic too.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.memo import CacheInfo
@@ -116,6 +128,17 @@ class ServiceStats:
     #: Arrivals whose placement was touched by a fault (re-routed, or
     #: placed through a send that needed retries/recovery).
     degraded_arrivals: int = 0
+    #: Routing rounds dispatched overlapped (fire every shard's message,
+    #: then gather); 0 when ``--no-overlap`` forces the serial baseline.
+    overlapped_rounds: int = 0
+    #: Wall-clock seconds spent inside placement rounds.  Under
+    #: overlapped dispatch this is what req/s actually experiences.
+    window_wall_seconds: float = 0.0
+    #: Summed per-shard service time (send until the reply is ready).
+    #: Serial dispatch pays this sum on the wall clock; overlapped
+    #: dispatch pays roughly the per-round maximum — the gap between the
+    #: two fields is the time the overlap won back.
+    shard_service_seconds: float = 0.0
 
     def describe(self) -> str:
         lines = [
@@ -127,6 +150,9 @@ class ServiceStats:
             f"  optimistic retry: {self.retries} re-routes, "
             f"{self.recovered_by_retry} recovered, "
             f"{self.exhausted} exhausted every shard",
+            f"  dispatch: {self.overlapped_rounds} overlapped round(s), "
+            f"{self.window_wall_seconds:.3f}s window wall clock / "
+            f"{self.shard_service_seconds:.3f}s summed shard service",
         ]
         if self.shard_requests:
             lines.append(
@@ -180,6 +206,9 @@ class ServiceStats:
             "replayed_messages": self.replayed_messages,
             "degraded_windows": self.degraded_windows,
             "degraded_arrivals": self.degraded_arrivals,
+            "overlapped_rounds": self.overlapped_rounds,
+            "window_wall_seconds": self.window_wall_seconds,
+            "shard_service_seconds": self.shard_service_seconds,
         }
 
     @classmethod
@@ -247,6 +276,19 @@ def merge_churn_stats(
             )
         )
     return merged
+
+
+@dataclass
+class _DispatchOutcome:
+    """Result of one shard's round trip inside an overlapped dispatch:
+    either a response (with its service time and whether fault handling
+    touched it), or the :class:`ShardDownError` the sequential path
+    would have raised at that point."""
+
+    response: Dict | None = None
+    elapsed: float = 0.0
+    faulted: bool = False
+    down: ShardDownError | None = None
 
 
 class SchedulerService:
@@ -453,16 +495,33 @@ class SchedulerService:
             start = time.perf_counter()
             response = self.clients[shard].request(message)
             elapsed = time.perf_counter() - start
+            self.stats.shard_service_seconds += elapsed
             self._update_summary(shard, response)
             return response, elapsed
         return self._send_supervised(shard, message)
+
+    def _tracked_request(self, shard: int, wire_message: Dict) -> Dict:
+        """One supervised round trip, accounted on the supervisor's
+        in-flight ledger for its duration."""
+        supervisor = self.supervisor
+        timeout = self.config.request_timeout_s
+        deadline = None if timeout is None else time.monotonic() + timeout
+        supervisor.track_send(shard, deadline)
+        try:
+            return self.clients[shard].request(
+                wire_message, timeout_s=timeout
+            )
+        finally:
+            supervisor.settle_send(shard)
 
     def _send_supervised(
         self, shard: int, message: Dict
     ) -> Tuple[Dict, float]:
         """One supervised round-trip: journal first (state-mutating ops),
-        bounded timeout retries with seeded backoff, then either an
-        immediate respawn-and-replay or a deferred-recovery handoff.
+        then one attempt; failures run the shared
+        :meth:`_resolve_supervised` tail (bounded timeout retries with
+        seeded backoff, then either an immediate respawn-and-replay or a
+        deferred-recovery handoff).
 
         Raises :class:`~repro.scheduler.supervisor.ShardDownError` when
         the shard is (or just went) DOWN with recovery deferred — the
@@ -479,30 +538,58 @@ class SchedulerService:
         if message["op"] in MUTATING_OPS:
             entry = supervisor.journal(shard, message)
             wire_message = entry.message
+        try:
+            response = self._tracked_request(shard, wire_message)
+        except (ShardTimeoutError, ShardCrashError) as error:
+            return self._resolve_supervised(
+                shard, message, wire_message, entry, error, start
+            )
+        supervisor.mark_up(shard)
+        self._update_summary(shard, response)
+        elapsed = time.perf_counter() - start
+        self.stats.shard_service_seconds += elapsed
+        return response, elapsed
+
+    def _resolve_supervised(
+        self,
+        shard: int,
+        message: Dict,
+        wire_message: Dict,
+        entry,
+        error: ShardError,
+        start: float,
+    ) -> Tuple[Dict, float]:
+        """The shared failure tail of one supervised send: bounded
+        timeout retries with seeded backoff, then either an immediate
+        respawn-and-replay or a deferred-recovery handoff.  ``error`` is
+        the first attempt's failure — the sequential path enters from
+        :meth:`_send_supervised`, the overlapped dispatcher after its
+        gather, always in shard order, so counters, backoff draws, and
+        journal state match the sequential execution exactly.
+        """
+        supervisor = self.supervisor
         attempt = 0
         while True:
-            try:
-                response = self.clients[shard].request(
-                    wire_message, timeout_s=self.config.request_timeout_s
-                )
-            except ShardTimeoutError as caught:
-                error: ShardError = caught
-                self.stats.timeouts += 1
-                supervisor.mark_suspect(shard)
-                if attempt < supervisor.retries:
-                    attempt += 1
-                    self.stats.backoff_retries += 1
-                    self._sleep(supervisor.backoff_seconds(attempt))
-                    continue
-                break
-            except ShardCrashError as caught:
-                error = caught
+            if isinstance(error, ShardCrashError):
                 self.stats.crashes += 1
                 break
-            else:
-                supervisor.mark_up(shard)
-                self._update_summary(shard, response)
-                return response, time.perf_counter() - start
+            self.stats.timeouts += 1
+            supervisor.mark_suspect(shard)
+            if attempt >= supervisor.retries:
+                break
+            attempt += 1
+            self.stats.backoff_retries += 1
+            self._sleep(supervisor.backoff_seconds(attempt))
+            try:
+                response = self._tracked_request(shard, wire_message)
+            except (ShardTimeoutError, ShardCrashError) as caught:
+                error = caught
+                continue
+            supervisor.mark_up(shard)
+            self._update_summary(shard, response)
+            elapsed = time.perf_counter() - start
+            self.stats.shard_service_seconds += elapsed
+            return response, elapsed
         # The shard is no longer trustworthy.  The only consistent
         # futures are (a) rebuild it now and replay the journal, or
         # (b) roll the in-flight work back and go degraded.
@@ -523,7 +610,9 @@ class SchedulerService:
             # The failed message was journaled before the send, so the
             # replay just applied it: the final replay response is this
             # message's response.
-            return last_response, time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.stats.shard_service_seconds += elapsed
+            return last_response, elapsed
         # Read-only message (summary/report): resend to the fresh worker.
         return self._send_supervised(shard, message)
 
@@ -547,20 +636,29 @@ class SchedulerService:
             self.summaries[shard] = ShardSummary.initial(
                 shard, self._shard_machines[shard]
             )
-            last_response: Dict | None = None
+            replayed: List[Dict] = []
             try:
-                for entry in supervisor.journals[shard]:
-                    last_response = self.clients[shard].request(
-                        entry.message,
-                        timeout_s=self.config.request_timeout_s,
-                    )
-                    self.stats.replayed_messages += 1
+                # request_many pipelines the replay on the process
+                # transport (and stays sequential under fault injection,
+                # keeping message indices coupled to deliveries); the
+                # callback counts exactly the replies that arrived, so a
+                # mid-replay fault leaves the same counter trail as the
+                # sequential per-entry loop did.
+                self.clients[shard].request_many(
+                    [entry.message for entry in supervisor.journals[shard]],
+                    timeout_s=self.config.request_timeout_s,
+                    on_response=replayed.append,
+                )
             except ShardTimeoutError:
+                self.stats.replayed_messages += len(replayed)
                 self.stats.timeouts += 1
                 continue
             except ShardCrashError:
+                self.stats.replayed_messages += len(replayed)
                 self.stats.crashes += 1
                 continue
+            self.stats.replayed_messages += len(replayed)
+            last_response = replayed[-1] if replayed else None
             break
         self.stats.journal_replays += 1
         supervisor.mark_up(shard)
@@ -604,6 +702,199 @@ class SchedulerService:
         self.stats.departure_batches += 1
 
     # ------------------------------------------------------------------
+    # Overlapped dispatch
+    # ------------------------------------------------------------------
+
+    def _await_replies(
+        self, shards: Sequence[int], ready_at: Dict[int, float]
+    ) -> Dict[int, float]:
+        """Block until every listed shard's client either has a readable
+        reply or has passed its reply deadline; stamps the moment each
+        became ready into ``ready_at`` (shards already stamped are
+        skipped).  Crashed pipes and expired deadlines count as ready —
+        the subsequent ``recv()`` raises the crash or timeout, exactly
+        where the sequential path would have seen it."""
+        waiting = [shard for shard in shards if shard not in ready_at]
+        while waiting:
+            connections = []
+            still: List[int] = []
+            deadlines: List[float] = []
+            for shard in waiting:
+                client = self.clients[shard]
+                if client.reply_ready():
+                    ready_at[shard] = time.perf_counter()
+                    continue
+                connection = client.gather_connection()
+                if connection is None:
+                    # Nothing to wait on and nothing buffered (inline
+                    # worker, wedged fault): recv() resolves it now.
+                    ready_at[shard] = time.perf_counter()
+                    continue
+                deadline = client.recv_deadline()
+                if deadline is not None and time.monotonic() >= deadline:
+                    ready_at[shard] = time.perf_counter()
+                    continue
+                still.append(shard)
+                connections.append(connection)
+                if deadline is not None:
+                    deadlines.append(deadline)
+            waiting = still
+            if not waiting:
+                break
+            timeout = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines) - time.monotonic())
+            mp_connection.wait(connections, timeout)
+        return ready_at
+
+    def _dispatch(
+        self, sends: Sequence[Tuple[int, Dict]]
+    ) -> Dict[int, _DispatchOutcome]:
+        """Overlapped multi-shard round trip: fire every message, gather
+        the replies, resolve them in shard order.
+
+        ``sends`` holds (shard, message) pairs in ascending shard order,
+        at most one per shard; pending departures for every listed shard
+        must already have been delivered (or *be* these messages).
+        Returns one :class:`_DispatchOutcome` per shard — outcomes with
+        ``down`` set carry the :class:`ShardDownError` the sequential
+        loop would have raised for that shard.
+        """
+        if self.supervisor is not None:
+            return self._dispatch_supervised(sends)
+        outcomes: Dict[int, _DispatchOutcome] = {}
+        starts: Dict[int, float] = {}
+        ready_at: Dict[int, float] = {}
+        for shard, message in sends:
+            starts[shard] = time.perf_counter()
+            self.clients[shard].send(message)
+            if self.clients[shard].gather_connection() is None:
+                # Inline transport: the work happened inside send(), so
+                # the shard's service time is the send duration alone.
+                ready_at[shard] = time.perf_counter()
+        self._await_replies([shard for shard, _ in sends], ready_at)
+        for shard, _ in sends:
+            response = self.clients[shard].recv()
+            elapsed = ready_at.get(shard, time.perf_counter()) - starts[shard]
+            self.stats.shard_service_seconds += elapsed
+            self._update_summary(shard, response)
+            outcomes[shard] = _DispatchOutcome(
+                response=response, elapsed=elapsed
+            )
+        return outcomes
+
+    def _dispatch_supervised(
+        self, sends: Sequence[Tuple[int, Dict]]
+    ) -> Dict[int, _DispatchOutcome]:
+        """The supervised overlap: journal *every* mutating message
+        before anything is fired (the write-ahead ordering is
+        phase-wide, and per-shard journals keep per-shard sequence
+        numbers identical to sequential dispatch), fire all sends with
+        per-shard deadlines on the supervisor's in-flight ledger, gather
+        once, then resolve in shard order — failures run the same
+        :meth:`_resolve_supervised` tail, sequentially, so recovery,
+        counters, and backoff draws match the sequential execution."""
+        supervisor = self.supervisor
+        outcomes: Dict[int, _DispatchOutcome] = {}
+        entries: Dict[int, object] = {}
+        wires: Dict[int, Dict] = {}
+        starts: Dict[int, float] = {}
+        ready_at: Dict[int, float] = {}
+        send_errors: Dict[int, ShardError] = {}
+        active: List[int] = []
+        for shard, message in sends:
+            if supervisor.health[shard] == HEALTH_DOWN:
+                outcomes[shard] = _DispatchOutcome(
+                    down=ShardDownError(shard, "down (recovery deferred)")
+                )
+                continue
+            entry = None
+            wire_message = message
+            if message["op"] in MUTATING_OPS:
+                entry = supervisor.journal(shard, message)
+                wire_message = entry.message
+            entries[shard] = entry
+            wires[shard] = wire_message
+            active.append(shard)
+        fired: List[int] = []
+        for shard in active:
+            client = self.clients[shard]
+            starts[shard] = time.perf_counter()
+            try:
+                client.send(
+                    wires[shard], timeout_s=self.config.request_timeout_s
+                )
+            except ShardCrashError as error:
+                send_errors[shard] = error
+                continue
+            supervisor.track_send(shard, client.recv_deadline())
+            fired.append(shard)
+            if client.gather_connection() is None:
+                ready_at[shard] = time.perf_counter()
+        self._await_replies(fired, ready_at)
+        for shard, message in sends:
+            if shard in outcomes:  # DOWN before this dispatch started
+                continue
+            start = starts[shard]
+            error = send_errors.get(shard)
+            response = None
+            if error is None:
+                supervisor.settle_send(shard)
+                try:
+                    response = self.clients[shard].recv()
+                except (ShardTimeoutError, ShardCrashError) as caught:
+                    error = caught
+            if error is None:
+                supervisor.mark_up(shard)
+                self._update_summary(shard, response)
+                elapsed = ready_at.get(shard, time.perf_counter()) - start
+                self.stats.shard_service_seconds += elapsed
+                outcomes[shard] = _DispatchOutcome(
+                    response=response, elapsed=elapsed
+                )
+                continue
+            try:
+                response, elapsed = self._resolve_supervised(
+                    shard, message, wires[shard], entries[shard], error, start
+                )
+            except ShardDownError as down:
+                outcomes[shard] = _DispatchOutcome(faulted=True, down=down)
+                continue
+            outcomes[shard] = _DispatchOutcome(
+                response=response, elapsed=elapsed, faulted=True
+            )
+        return outcomes
+
+    def _flush_overlapped(self, shards: Sequence[int]) -> Dict[int, bool]:
+        """Deliver the pending departure batches of the given shards in
+        one overlapped dispatch; returns shard -> whether fault handling
+        touched the flush.  A shard that went down with recovery
+        deferred gets its events re-queued, exactly like the sequential
+        :meth:`_flush_departures` path."""
+        sends: List[Tuple[int, Dict]] = []
+        staged: Dict[int, List[List]] = {}
+        for shard in shards:
+            events = self._outbox[shard]
+            if not events:
+                continue
+            self._outbox[shard] = []
+            staged[shard] = events
+            sends.append((shard, {"op": "depart", "events": events}))
+        if not sends:
+            return {}
+        outcomes = self._dispatch(sends)
+        faulted: Dict[int, bool] = {}
+        for shard, _ in sends:
+            outcome = outcomes[shard]
+            if outcome.down is not None:
+                self._outbox[shard] = staged[shard] + self._outbox[shard]
+                faulted[shard] = True
+                continue
+            self.stats.departure_batches += 1
+            faulted[shard] = outcome.faulted
+        return faulted
+
+    # ------------------------------------------------------------------
     # Placement rounds
     # ------------------------------------------------------------------
 
@@ -616,6 +907,7 @@ class SchedulerService:
         ``op`` is ``"arrive"`` (lifecycle) or ``"decide"`` (one-shot).
         Returns one graded decision per item, in order.
         """
+        wall_start = time.perf_counter()
         self.stats.rounds += 1
         self.stats.routed += len(items)
         down = self._begin_round()
@@ -631,6 +923,44 @@ class SchedulerService:
             groups.setdefault(shard, []).append(position)
         results: List[GradedDecision | None] = [None] * len(items)
         finalized: set = set()
+        if self.config.overlap:
+            self._dispatch_window(
+                items, op, groups, results, assigned, finalized
+            )
+        else:
+            self._dispatch_window_sequential(
+                items, op, groups, results, assigned, finalized
+            )
+
+        finished: List[GradedDecision] = []
+        for position, (request, event_time) in enumerate(items):
+            entry = results[position]
+            shard = assigned[position]
+            if position not in finalized:
+                entry, shard = self._retry_if_rejected(
+                    entry, shard, request, event_time, op
+                )
+            self._owner[request.request_id] = shard
+            self.stats.shard_requests[shard] += 1
+            if entry.decision.placed:
+                self.stats.shard_placed[shard] += 1
+            self.graded.append(entry)
+            finished.append(entry)
+        self.stats.window_wall_seconds += time.perf_counter() - wall_start
+        return finished
+
+    def _dispatch_window_sequential(
+        self,
+        items: Sequence[Tuple[PlacementRequest, float]],
+        op: str,
+        groups: Dict[int, List[int]],
+        results: List[GradedDecision | None],
+        assigned: List[int],
+        finalized: set,
+    ) -> None:
+        """The ``--no-overlap`` baseline: one blocking round trip per
+        shard, in shard order (each send flushes that shard's pending
+        departures first)."""
         for shard in sorted(groups):
             positions = groups[shard]
             message = self._window_message(
@@ -663,21 +993,56 @@ class SchedulerService:
                 entry.decision_seconds = per_request
                 results[position] = entry
 
-        finished: List[GradedDecision] = []
-        for position, (request, event_time) in enumerate(items):
-            entry = results[position]
-            shard = assigned[position]
-            if position not in finalized:
-                entry, shard = self._retry_if_rejected(
-                    entry, shard, request, event_time, op
-                )
-            self._owner[request.request_id] = shard
-            self.stats.shard_requests[shard] += 1
-            if entry.decision.placed:
-                self.stats.shard_placed[shard] += 1
-            self.graded.append(entry)
-            finished.append(entry)
-        return finished
+    def _dispatch_window(
+        self,
+        items: Sequence[Tuple[PlacementRequest, float]],
+        op: str,
+        groups: Dict[int, List[int]],
+        results: List[GradedDecision | None],
+        assigned: List[int],
+        finalized: set,
+    ) -> None:
+        """The overlapped round: flush the pending departures of every
+        shard in this round's groups (one overlapped dispatch), then
+        fire every shard's window message and gather.  Only shards that
+        are about to receive a window message are flushed — flushing an
+        idle shard would refresh its summary earlier than sequential
+        dispatch does and break bit-for-bit routing equivalence."""
+        shards = sorted(groups)
+        self.stats.overlapped_rounds += 1
+        flush_faulted = self._flush_overlapped(shards)
+        sends = [
+            (
+                shard,
+                self._window_message(
+                    op, [items[position] for position in groups[shard]]
+                ),
+            )
+            for shard in shards
+        ]
+        outcomes = self._dispatch(sends)
+        for shard in shards:
+            positions = groups[shard]
+            outcome = outcomes[shard]
+            if outcome.down is not None:
+                self.stats.failovers += len(positions)
+                self.stats.degraded_arrivals += len(positions)
+                for position in positions:
+                    request, event_time = items[position]
+                    results[position], assigned[position] = self._failover(
+                        request, event_time, op
+                    )
+                    finalized.add(position)
+                continue
+            if outcome.faulted or flush_faulted.get(shard, False):
+                self.stats.degraded_arrivals += len(positions)
+            per_request = outcome.elapsed / len(positions)
+            for position, graded in zip(
+                positions, outcome.response["graded"]
+            ):
+                entry = self._from_wire(graded, shard)
+                entry.decision_seconds = per_request
+                results[position] = entry
 
     def _begin_round(self) -> frozenset:
         """Recover shards whose deferred-recovery window has elapsed;
@@ -868,8 +1233,11 @@ class SchedulerService:
         if pending:
             self._place_window(pending, "arrive")
         self._defer_departures(held)
-        for shard in range(self.config.shards):
-            self._flush_departures(shard)
+        if self.config.overlap:
+            self._flush_overlapped(range(self.config.shards))
+        else:
+            for shard in range(self.config.shards):
+                self._flush_departures(shard)
         elapsed = time.perf_counter() - start
         return self._merge_report(arrivals, elapsed, churn=True)
 
@@ -916,9 +1284,25 @@ class SchedulerService:
         # (their outboxes then flush through the report sends below).
         self._recover_all()
         reports = []
-        for shard in range(self.config.shards):
-            response, _ = self._send(shard, {"op": "report"})
-            reports.append(response["report"])
+        if self.config.overlap:
+            shards = range(self.config.shards)
+            self._flush_overlapped(shards)
+            outcomes = self._dispatch(
+                [(shard, {"op": "report"}) for shard in shards]
+            )
+            for shard in shards:
+                outcome = outcomes[shard]
+                if outcome.down is not None:
+                    # Unreachable after _recover_all (reports are
+                    # read-only, so even a fresh fault recovers
+                    # immediately), but propagate like the sequential
+                    # path would rather than merge a partial report.
+                    raise outcome.down
+                reports.append(outcome.response["report"])
+        else:
+            for shard in range(self.config.shards):
+                response, _ = self._send(shard, {"op": "report"})
+                reports.append(response["report"])
 
         def merged_cache(key: str) -> CacheInfo | None:
             infos = [

@@ -35,6 +35,15 @@ summary   just the shard's routing summary
 report    the shard's full FleetReport payload (without decisions)
 stop      shut the worker down (process transport exits its loop)
 ========= ==========================================================
+
+Both clients expose the protocol twice: the classic blocking
+``request(message)`` round trip, and the split ``send(message)`` /
+``recv(timeout)`` pair (plus a pipelined ``request_many``) the service's
+overlapped dispatcher uses to fire every shard's message before waiting
+on any reply.  ``send`` stamps the reply deadline, ``recv`` polls only
+the remaining budget, and ``reply_ready`` / ``gather_connection`` /
+``recv_deadline`` are the gather surface
+``multiprocessing.connection.wait`` selects over.
 """
 
 from __future__ import annotations
@@ -229,7 +238,11 @@ class ShardWorker:
         if seq is not None and seq <= self._applied_seq:
             if seq == self._applied_seq and self._last_response is not None:
                 return self._last_response
-            return {"deduped": True, "summary": self.summary().to_dict()}
+            return {
+                "deduped": True,
+                "seq": seq,
+                "summary": self.summary().to_dict(),
+            }
         start = time.perf_counter()
         op = message["op"]
         if op == "arrive":
@@ -251,6 +264,11 @@ class ShardWorker:
         response["summary"] = self.summary().to_dict()
         self.busy_seconds += time.perf_counter() - start
         if seq is not None:
+            # Echo the sequence number so a client that timed out and
+            # retried can discard the stale reply of an earlier attempt
+            # (only supervised messages carry seq, so the unsupervised
+            # wire bytes are untouched).
+            response["seq"] = seq
             self._applied_seq = seq
             self._last_response = response
         return response
@@ -354,6 +372,11 @@ class InlineShardClient:
     inline transport exercises the identical wire surface the process
     transport ships over its pipe — a payload that only works inline is
     a bug this client catches immediately.
+
+    The client speaks the split protocol (:meth:`send` then
+    :meth:`recv`) the overlapped dispatcher uses; because the worker is
+    in-process, the work happens synchronously inside ``send`` and the
+    response waits in a FIFO buffer until ``recv`` collects it.
     """
 
     transport = "inline"
@@ -369,18 +392,63 @@ class InlineShardClient:
         self.worker: ShardWorker | None = ShardWorker(
             shard_id, config, machines=machines
         )
+        #: Responses produced at send time, awaiting recv, oldest first.
+        self._pending: List[Dict] = []
 
-    def request(self, message: Dict, timeout_s: float | None = None) -> Dict:
+    def send(self, message: Dict, timeout_s: float | None = None) -> None:
+        """Deliver one message; the response buffers until :meth:`recv`."""
         if self.worker is None:
             raise ShardCrashError(self.shard_id, "worker was killed")
         payload = json.loads(json.dumps(message))
-        return json.loads(json.dumps(self.worker.handle(payload)))
+        self._pending.append(
+            json.loads(json.dumps(self.worker.handle(payload)))
+        )
+
+    def recv(self, timeout_s: float | None = None) -> Dict:
+        if not self._pending:
+            raise ShardError(
+                self.shard_id, "recv() without a pending send()"
+            )
+        return self._pending.pop(0)
+
+    def request(self, message: Dict, timeout_s: float | None = None) -> Dict:
+        self.send(message, timeout_s)
+        return self.recv(timeout_s)
+
+    def request_many(
+        self,
+        messages: Sequence[Dict],
+        timeout_s: float | None = None,
+        on_response=None,
+    ) -> List[Dict]:
+        """Round-trip a message batch in order (inline: sequentially)."""
+        responses = []
+        for message in messages:
+            response = self.request(message, timeout_s)
+            if on_response is not None:
+                on_response(response)
+            responses.append(response)
+        return responses
+
+    # -- gather surface (overlapped dispatch) ---------------------------
+
+    def reply_ready(self) -> bool:
+        """A response is buffered: recv() will not block."""
+        return bool(self._pending)
+
+    def gather_connection(self):
+        """No pipe to wait on: inline replies are ready at send time."""
+        return None
+
+    def recv_deadline(self) -> float | None:
+        return None
 
     def kill(self) -> None:
         """Simulate a crash: the worker and all its state are dropped, and
         every later request raises :class:`ShardCrashError` — the same
         contract a dead process presents to the front-end."""
         self.worker = None
+        self._pending = []
 
     def close(self) -> None:  # symmetric with ProcessShardClient
         pass
@@ -420,6 +488,14 @@ class ProcessShardClient:
     but JSON-safe dicts crosses the pipe, so the child's artifacts are
     reconstructed deterministically from the same seed and preset names
     the parent used.
+
+    The split protocol is where the parallelism lives: :meth:`send`
+    writes the message and stamps its reply deadline (monotonic clock,
+    measured **from the send**), and :meth:`recv` polls only for the
+    *remaining* budget — so a front-end that fires every shard's message
+    first and gathers afterwards runs all workers' deadlines
+    concurrently, and a slow shard cannot inflate the budget of the
+    shards gathered after it.
     """
 
     transport = "process"
@@ -430,6 +506,12 @@ class ProcessShardClient:
         self.shard_id = shard_id
         #: Default reply deadline for request(); None blocks forever.
         self.timeout_s = timeout_s
+        #: In-flight sends, oldest first: (reply deadline or None,
+        #: expected response seq or None).
+        self._in_flight: List[List] = []
+        #: Replies drained off the pipe (to keep its buffers empty during
+        #: pipelined batches) but not yet returned by recv().
+        self._drained: List[Dict] = []
         parent, child = multiprocessing.Pipe()
         self._connection = parent
         self._process = multiprocessing.Process(
@@ -445,24 +527,132 @@ class ProcessShardClient:
             # descriptor itself leaks.
             child.close()
 
-    def request(self, message: Dict, timeout_s: float | None = None) -> Dict:
+    def send(self, message: Dict, timeout_s: float | None = None) -> None:
+        """Write one message to the worker and stamp its reply deadline."""
         timeout = self.timeout_s if timeout_s is None else timeout_s
+        deadline = None if timeout is None else time.monotonic() + timeout
         try:
             self._connection.send(message)
-            if timeout is not None and not self._connection.poll(timeout):
-                raise ShardTimeoutError(
-                    self.shard_id, f"no reply within {timeout:.3g}s"
-                )
-            return self._connection.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
+            raise ShardCrashError(
+                self.shard_id,
+                f"worker pipe closed ({type(error).__name__})",
+            ) from error
+        self._in_flight.append([deadline, message.get("seq")])
+
+    def recv(self, timeout_s: float | None = None) -> Dict:
+        """Collect the oldest in-flight reply.
+
+        Polls with the budget *remaining* from the matching send (or the
+        explicit ``timeout_s`` override, measured from now); a reply that
+        is already buffered is returned even if the deadline has passed.
+        Replies carrying a stale sequence number — a late answer to an
+        attempt that already timed out — are discarded, so a retried
+        message can never be paired with its predecessor's reply.
+        """
+        if not self._in_flight:
+            raise ShardError(
+                self.shard_id, "recv() without a pending send()"
+            )
+        deadline, expected = self._in_flight.pop(0)
+        if timeout_s is not None:
+            deadline = time.monotonic() + timeout_s
+        try:
+            while True:
+                if self._drained:
+                    reply = self._drained.pop(0)
+                else:
+                    remaining = (
+                        None
+                        if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if not self._connection.poll(
+                        remaining if remaining is None else max(remaining, 0.0)
+                    ):
+                        raise ShardTimeoutError(
+                            self.shard_id,
+                            "no reply within the deadline stamped at send",
+                        )
+                    reply = self._connection.recv()
+                if (
+                    expected is not None
+                    and isinstance(reply, dict)
+                    and reply.get("seq") is not None
+                    and reply["seq"] < expected
+                ):
+                    continue  # stale reply from a timed-out earlier attempt
+                return reply
         except (EOFError, BrokenPipeError, ConnectionResetError) as error:
             raise ShardCrashError(
                 self.shard_id,
                 f"worker pipe closed ({type(error).__name__})",
             ) from error
 
+    def request(self, message: Dict, timeout_s: float | None = None) -> Dict:
+        self.send(message, timeout_s)
+        return self.recv()
+
+    def request_many(
+        self,
+        messages: Sequence[Dict],
+        timeout_s: float | None = None,
+        on_response=None,
+    ) -> List[Dict]:
+        """Pipeline a message batch over the pipe.
+
+        All messages are written up front (the worker applies them in
+        order); replies already available are drained between writes so
+        neither side ever blocks on a full pipe buffer, then collected in
+        order.  Used by journal replay, where the batch can span a whole
+        stream's worth of windows.
+        """
+        responses = []
+        for message in messages:
+            self.send(message, timeout_s)
+            try:
+                while self._connection.poll(0):
+                    self._drained.append(self._connection.recv())
+            except (EOFError, BrokenPipeError, ConnectionResetError) as error:
+                raise ShardCrashError(
+                    self.shard_id,
+                    f"worker pipe closed ({type(error).__name__})",
+                ) from error
+        for _ in messages:
+            response = self.recv()
+            if on_response is not None:
+                on_response(response)
+            responses.append(response)
+        return responses
+
+    # -- gather surface (overlapped dispatch) ---------------------------
+
+    def reply_ready(self) -> bool:
+        """A reply can be read without blocking (buffered, pending on the
+        pipe, or the pipe has hit EOF — recv() resolves which)."""
+        if self._drained:
+            return True
+        try:
+            return self._connection.poll(0)
+        except (OSError, EOFError, BrokenPipeError):
+            return True  # dead pipe: recv() will raise ShardCrashError
+
+    def gather_connection(self):
+        """The pipe end ``multiprocessing.connection.wait`` can select on."""
+        return self._connection
+
+    def recv_deadline(self) -> float | None:
+        """Monotonic deadline of the oldest in-flight reply (None: no
+        deadline, or the reply is already buffered)."""
+        if self._drained or not self._in_flight:
+            return None
+        return self._in_flight[0][0]
+
     def kill(self) -> None:
         """Hard-kill the worker (no stop handshake) and release the pipe —
         what a crash fault does, and close()'s last resort."""
+        self._in_flight = []
+        self._drained = []
         try:
             if self._process.is_alive():
                 self._process.terminate()

@@ -163,6 +163,14 @@ class ShardSupervisor:
         ]
         self._rng = random.Random(seed)
         self._down_round: Dict[int, int] = {}
+        #: shard -> monotonic reply deadline (or None) of its in-flight
+        #: send.  Overlapped dispatch keeps one entry per shard it has
+        #: fired and not yet gathered; sequential dispatch keeps at most
+        #: one entry total.
+        self._in_flight: Dict[int, float | None] = {}
+        #: High-water mark of concurrently in-flight sends (observability
+        #: for the overlapped dispatcher; 1 under sequential dispatch).
+        self.max_in_flight = 0
 
     # -- journal -------------------------------------------------------
 
@@ -171,6 +179,29 @@ class ShardSupervisor:
 
     def rollback(self, shard: int, entry: JournalEntry) -> None:
         self.journals[shard].rollback(entry)
+
+    # -- in-flight sends -----------------------------------------------
+
+    def track_send(self, shard: int, deadline: float | None) -> None:
+        """Account one fired send: the shard's reply is now owed by
+        ``deadline`` (monotonic; None means no deadline).  Overlapped
+        dispatch tracks every shard of a round at once."""
+        self._in_flight[shard] = deadline
+        self.max_in_flight = max(self.max_in_flight, len(self._in_flight))
+
+    def settle_send(self, shard: int) -> None:
+        """The shard's in-flight send resolved (reply, timeout, or
+        crash): it no longer owes a reply."""
+        self._in_flight.pop(shard, None)
+
+    def in_flight(self) -> Dict[int, float | None]:
+        """Shard -> reply deadline for every unresolved send."""
+        return dict(self._in_flight)
+
+    def overdue(self, shard: int, now: float) -> bool:
+        """The shard's in-flight reply deadline has passed."""
+        deadline = self._in_flight.get(shard)
+        return deadline is not None and now >= deadline
 
     # -- health --------------------------------------------------------
 

@@ -74,6 +74,13 @@ class TestFromArgs:
         assert config.batch_size is None
         assert config.online_learning is False
 
+    def test_overlap_defaults_on_and_no_overlap_turns_it_off(self):
+        assert ScheduleConfig.from_args(_serve_args()).overlap is True
+        config = ScheduleConfig.from_args(_serve_args("--no-overlap"))
+        assert config.overlap is False
+        rebuilt = ScheduleConfig.from_dict(config.to_dict())
+        assert rebuilt.overlap is False
+
     def test_parse_vcpus(self):
         assert ScheduleConfig.parse_vcpus("8") == (8,)
         assert ScheduleConfig.parse_vcpus("4, 8,16") == (4, 8, 16)
@@ -142,10 +149,12 @@ class TestDerivedAndBuilders:
         host-id order Fleet construction produces, including the mixed
         fleet's interleaving."""
         for machine in ("amd", "mixed"):
-            config = ScheduleConfig(machine=machine, hosts=5)
-            listed = [m.name for m in config.machine_list()]
-            built = [h.machine.name for h in config.build_fleet().hosts]
-            assert listed == built
+            # hosts=1 exercises the mixed fleet's empty-intel-row edge.
+            for hosts in (1, 5):
+                config = ScheduleConfig(machine=machine, hosts=hosts)
+                listed = [m.name for m in config.machine_list()]
+                built = [h.machine.name for h in config.build_fleet().hosts]
+                assert listed == built
         assert len(set(listed)) == 2  # mixed really mixes shapes
 
     def test_build_stream_respects_churn_flag(self):

@@ -101,6 +101,29 @@ class _RecordingClient:
         self.sent.append(json.dumps(message, sort_keys=True))
         return self.inner.request(message, timeout_s)
 
+    def send(self, message, timeout_s=None):
+        self.sent.append(json.dumps(message, sort_keys=True))
+        self.inner.send(message, timeout_s)
+
+    def recv(self, timeout_s=None):
+        return self.inner.recv(timeout_s)
+
+    def request_many(self, messages, timeout_s=None, on_response=None):
+        for message in messages:
+            self.sent.append(json.dumps(message, sort_keys=True))
+        return self.inner.request_many(
+            messages, timeout_s=timeout_s, on_response=on_response
+        )
+
+    def reply_ready(self):
+        return self.inner.reply_ready()
+
+    def gather_connection(self):
+        return self.inner.gather_connection()
+
+    def recv_deadline(self):
+        return self.inner.recv_deadline()
+
     def kill(self):
         self.inner.kill()
 
@@ -344,8 +367,9 @@ class TestNoFaultEquivalence:
 
 
 class TestCrashRecovery:
+    @pytest.mark.parametrize("overlap", [True, False])
     @pytest.mark.parametrize("kind", ["crash", "drop", "wedge", "delay"])
-    def test_single_fault_converges_to_fault_free(self, kind):
+    def test_single_fault_converges_to_fault_free(self, kind, overlap):
         plain, _ = _serve(_fast_config())
         plan = FaultPlan(
             actions=[
@@ -354,7 +378,7 @@ class TestCrashRecovery:
                 )
             ]
         )
-        report, stats = _serve(_fast_config(), faults=plan)
+        report, stats = _serve(_fast_config(overlap=overlap), faults=plan)
         assert _report_signature(report) == _report_signature(plain)
         if kind == "crash":
             assert stats.crashes == 1
@@ -372,11 +396,15 @@ class TestCrashRecovery:
             assert stats.timeouts == 0
             assert stats.crashes == 0
 
-    def test_crash_at_every_message_index_sweep(self):
+    @pytest.mark.parametrize("overlap", [True, False])
+    def test_crash_at_every_message_index_sweep(self, overlap):
         """The property sweep: crashing either shard at *any* point in
-        the stream loses nothing, duplicates nothing, and converges to
-        the fault-free merged report."""
-        config = _fast_config(requests=24, seed=7, supervised=True)
+        the stream — including while several sends are in flight under
+        overlapped dispatch — loses nothing, duplicates nothing, and
+        converges to the fault-free merged report."""
+        config = _fast_config(
+            requests=24, seed=7, supervised=True, overlap=overlap
+        )
         plain, _ = _serve(config, faults=FaultPlan(actions=[]))
         signature = _report_signature(plain)
         with SchedulerService(config, faults=FaultPlan(actions=[])) as probe:

@@ -1,0 +1,225 @@
+"""Overlapped dispatch: split protocol, deadlines, and equivalence.
+
+The contracts under test:
+
+* **Split protocol** — ``send()``/``recv()`` pair FIFO on both
+  transports, ``request_many`` pipelines (process) or loops (inline)
+  with identical results, and a ``recv()`` without a pending ``send()``
+  is a programming error.
+* **Deadline semantics** — the reply deadline is stamped at ``send()``;
+  ``recv()`` polls with the *remaining* budget, so time the front-end
+  spends elsewhere between send and recv is charged against the same
+  deadline instead of resetting it.
+* **Equivalence** — overlapped dispatch (the default) produces
+  bit-for-bit the decisions, merged reports, and per-shard wire streams
+  of the ``--no-overlap`` sequential baseline, on both transports.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.scheduler import (
+    InlineShardClient,
+    ProcessShardClient,
+    ScheduleConfig,
+    SchedulerService,
+    ShardError,
+    ShardTimeoutError,
+)
+from tests.scheduler.test_service import CHURN_REFERENCE, _fingerprints
+
+
+def _client_config(**overrides):
+    values = dict(machine="amd", hosts=4, requests=8, shards=2, window=2)
+    values.update(overrides)
+    return ScheduleConfig(**values)
+
+
+def _serve(config):
+    with SchedulerService(config) as service:
+        report = service.serve()
+        return report, service.stats
+
+
+def _signature(report):
+    return (
+        _fingerprints(report.decisions),
+        report.placed,
+        report.rejected,
+        report.churn.to_dict(),
+    )
+
+
+class TestInlineSplitProtocol:
+    def _client(self):
+        config = _client_config()
+        return InlineShardClient(
+            0, config, machines=config.machine_list()[::2]
+        )
+
+    def test_send_recv_pair_fifo(self):
+        client = self._client()
+        client.send({"op": "summary"})
+        client.send({"op": "report"})
+        first = client.recv()
+        second = client.recv()
+        assert "summary" in first
+        assert "report" in second
+
+    def test_recv_without_send_is_an_error(self):
+        client = self._client()
+        with pytest.raises(ShardError, match="without a pending send"):
+            client.recv()
+
+    def test_request_many_invokes_callback_in_order(self):
+        client = self._client()
+        seen = []
+        responses = client.request_many(
+            [{"op": "summary"}, {"op": "summary"}],
+            on_response=seen.append,
+        )
+        assert responses == seen
+        assert len(responses) == 2
+
+    def test_gather_surface(self):
+        client = self._client()
+        assert client.reply_ready() is False
+        assert client.gather_connection() is None
+        client.send({"op": "summary"})
+        assert client.reply_ready() is True
+        client.recv()
+        assert client.reply_ready() is False
+
+
+class TestProcessSplitProtocol:
+    def test_split_matches_request(self):
+        config = _client_config(workers="process")
+        client = ProcessShardClient(0, config, timeout_s=30.0)
+        try:
+            via_request = client.request({"op": "summary"})
+            client.send({"op": "summary"})
+            via_split = client.recv()
+            assert via_split == via_request
+        finally:
+            client.close()
+
+    def test_request_many_pipelines(self):
+        config = _client_config(workers="process")
+        client = ProcessShardClient(0, config, timeout_s=30.0)
+        try:
+            seen = []
+            responses = client.request_many(
+                [{"op": "summary"}] * 4, on_response=seen.append
+            )
+            assert responses == seen
+            assert len(responses) == 4
+        finally:
+            client.close()
+
+    def test_recv_charges_the_remaining_deadline(self):
+        """The deadline is stamped at send(): a stalled worker times out
+        after the *remaining* budget, not a fresh full timeout per
+        recv() call."""
+        config = _client_config(workers="process")
+        client = ProcessShardClient(0, config, timeout_s=30.0)
+        try:
+            client.request({"op": "summary"})  # worker fully up
+            os.kill(client._process.pid, signal.SIGSTOP)
+            try:
+                budget = 0.6
+                client.send({"op": "summary"}, timeout_s=budget)
+                time.sleep(budget / 2)
+                start = time.monotonic()
+                with pytest.raises(ShardTimeoutError):
+                    client.recv()
+                waited = time.monotonic() - start
+                # Remaining budget is ~0.3s; a fixed full-timeout poll
+                # would have waited the whole 0.6s again.
+                assert waited < budget
+            finally:
+                os.kill(client._process.pid, signal.SIGCONT)
+        finally:
+            client.close()
+
+    def test_explicit_recv_timeout_overrides_deadline(self):
+        config = _client_config(workers="process")
+        client = ProcessShardClient(0, config, timeout_s=30.0)
+        try:
+            client.request({"op": "summary"})
+            os.kill(client._process.pid, signal.SIGSTOP)
+            try:
+                client.send({"op": "summary"}, timeout_s=30.0)
+                start = time.monotonic()
+                with pytest.raises(ShardTimeoutError):
+                    client.recv(timeout_s=0.2)
+                assert time.monotonic() - start < 5.0
+            finally:
+                os.kill(client._process.pid, signal.SIGCONT)
+        finally:
+            client.close()
+
+
+class TestOverlapEquivalence:
+    def test_inline_overlap_matches_sequential(self):
+        config = dict(CHURN_REFERENCE, shards=2, window=4)
+        overlapped, on_stats = _serve(ScheduleConfig(**config))
+        sequential, off_stats = _serve(
+            ScheduleConfig(**config, overlap=False)
+        )
+        assert _signature(overlapped) == _signature(sequential)
+        assert on_stats.overlapped_rounds > 0
+        assert off_stats.overlapped_rounds == 0
+
+    def test_supervised_overlap_matches_sequential(self):
+        config = dict(
+            CHURN_REFERENCE, shards=2, window=4, supervised=True
+        )
+        overlapped, _ = _serve(ScheduleConfig(**config))
+        sequential, _ = _serve(ScheduleConfig(**config, overlap=False))
+        assert _signature(overlapped) == _signature(sequential)
+
+    def test_process_overlap_matches_sequential(self):
+        config = dict(
+            CHURN_REFERENCE, requests=30, shards=2, window=4
+        )
+        overlapped, on_stats = _serve(
+            ScheduleConfig(**config, workers="process")
+        )
+        sequential, _ = _serve(
+            ScheduleConfig(**config, workers="process", overlap=False)
+        )
+        inline, _ = _serve(ScheduleConfig(**config))
+        assert _signature(overlapped) == _signature(sequential)
+        assert _signature(overlapped) == _signature(inline)
+        assert on_stats.overlapped_rounds > 0
+
+    def test_overlap_records_split_timing(self):
+        config = dict(CHURN_REFERENCE, shards=2, window=4)
+        _, stats = _serve(ScheduleConfig(**config))
+        assert stats.window_wall_seconds > 0.0
+        assert stats.shard_service_seconds > 0.0
+
+    def test_supervisor_tracks_multiple_in_flight_sends(self):
+        config = ScheduleConfig(
+            **dict(CHURN_REFERENCE, shards=2, window=4, supervised=True)
+        )
+        with SchedulerService(config) as service:
+            service.serve()
+            assert service.supervisor.max_in_flight >= 2
+            assert service.supervisor.in_flight() == {}
+
+        sequential = ScheduleConfig(
+            **dict(
+                CHURN_REFERENCE,
+                shards=2,
+                window=4,
+                supervised=True,
+                overlap=False,
+            )
+        )
+        with SchedulerService(sequential) as service:
+            service.serve()
+            assert service.supervisor.max_in_flight == 1

@@ -174,8 +174,26 @@ class TestStatsWire:
             replayed_messages=17,
             degraded_windows=1,
             degraded_arrivals=6,
+            overlapped_rounds=9,
+            window_wall_seconds=1.25,
+            shard_service_seconds=3.5,
         )
         assert ServiceStats.from_dict(wire(stats.to_dict())) == stats
+
+    def test_service_stats_accepts_pre_overlap_payloads(self):
+        """A payload recorded before overlapped dispatch existed still
+        loads: the dispatch-timing fields default to zero."""
+        stats = ServiceStats(n_shards=2, window=8)
+        payload = wire(stats.to_dict())
+        for key in (
+            "overlapped_rounds",
+            "window_wall_seconds",
+            "shard_service_seconds",
+        ):
+            del payload[key]
+        rebuilt = ServiceStats.from_dict(payload)
+        assert rebuilt.overlapped_rounds == 0
+        assert rebuilt.window_wall_seconds == 0.0
 
     def test_service_stats_accepts_pre_supervision_payloads(self):
         """A payload recorded before the fault counters existed still
