@@ -1,0 +1,227 @@
+"""Overload benchmark: goodput and tail latency at saturation.
+
+One heavy-tailed churn stream is offered three ways:
+
+* **uncongested** — a roomy fleet at a gentle arrival rate: the tail-
+  latency baseline every protected number is compared against;
+* **unprotected overload** — a tiny fleet under a sustained burst of
+  near-immortal containers plus the seeded kill-each-shard-once chaos
+  plan with deferred recovery: the fleet fills early, every later
+  arrival burns a full route/retry fan-out before being rejected
+  shard-side;
+* **protected overload** — the same offered load and chaos behind the
+  admission controller (capacity-aware saturation rejects, bounded
+  brown-out queue with drop-oldest shedding, ``brownout_watermark``
+  0.75): infeasible work is shed up front and best-effort traffic is
+  degraded first, so strict-goal goodput survives.
+
+Hard gates (asserted in full *and* smoke mode):
+
+* protected p99 decision latency stays within ``3x`` the uncongested
+  baseline's p99 — overload must not smear the tail of the work that
+  is still accepted;
+* protected strict-goal placements strictly exceed the unprotected
+  run's — brown-out sheds best-effort *instead of* strict traffic;
+* both overload arms decide every request exactly once (shed, rejected,
+  or placed — never lost, never duplicated).
+
+Results are persisted to ``BENCH_fleet.json`` under the ``overload``
+scenario: goodput, shed %, p50/p99 per arm, admission counters.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the tiny CI configuration.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_SMOKE as SMOKE
+from conftest import record_bench
+
+from repro.scheduler import FaultPlan, ScheduleConfig, SchedulerService
+
+N_REQUESTS = 120 if SMOKE else 400
+SHARDS = 2
+WINDOW = 4
+VCPUS = (8, 16)
+SEED = 23
+#: Protected p99 must stay within this multiple of the uncongested p99.
+P99_CEILING = 3.0
+
+#: Roomy fleet, gentle arrivals, ordinary lifetimes: nothing is ever
+#: rejected and no retry fires — the uncongested latency baseline.
+BASELINE = dict(
+    machine="amd",
+    hosts=16 if SMOKE else 48,
+    requests=N_REQUESTS,
+    seed=SEED,
+    churn=True,
+    policy="first-fit",
+    arrival_rate=1.0,
+    mean_lifetime=20.0,
+    heavy_tail=True,
+    vcpus=VCPUS,
+    shards=SHARDS,
+    window=WINDOW,
+    backoff_base_s=0.0,
+)
+
+#: The same stream shape offered to a fleet a fraction of the size at
+#: 20x the arrival rate, with containers that effectively never leave:
+#: the fleet saturates in the first few windows.
+OVERLOAD = dict(
+    BASELINE,
+    hosts=4 if SMOKE else 6,
+    arrival_rate=20.0,
+    mean_lifetime=100000.0,
+    recovery_rounds=2,
+)
+
+#: Admission knobs for the protected arm: saturation rejects up front,
+#: a bounded brown-out queue shedding oldest-first, and a high
+#: watermark so best-effort traffic is degraded while the fleet can
+#: still take strict-goal work (with near-immortal containers the
+#: fraction never recovers, so brown-out holds for the whole run).
+PROTECTION = dict(
+    admission=True,
+    queue_limit=8,
+    shed_policy="drop-oldest",
+    brownout_watermark=0.75,
+)
+
+
+def _run(config: ScheduleConfig, faults=None):
+    with SchedulerService(config, faults=faults) as service:
+        start = time.perf_counter()
+        fleet_report = service.serve()
+        return fleet_report, time.perf_counter() - start
+
+
+def _strict_placed(fleet_report) -> int:
+    return sum(
+        1
+        for g in fleet_report.decisions
+        if g.decision.placed
+        and g.decision.request.goal_fraction is not None
+    )
+
+
+def _decided_exactly_once(fleet_report, n_requests) -> bool:
+    ids = [g.decision.request.request_id for g in fleet_report.decisions]
+    return len(ids) == len(set(ids)) == n_requests
+
+
+def test_overload_goodput_and_tail(report):
+    baseline_report, baseline_seconds = _run(ScheduleConfig(**BASELINE))
+    assert baseline_report.rejected == 0, (
+        "the uncongested baseline must place everything — otherwise the "
+        "p99 ceiling is comparing against a congested tail"
+    )
+
+    plan = FaultPlan.kill_each_shard_once(SHARDS, seed=SEED)
+    unprotected_report, unprotected_seconds = _run(
+        ScheduleConfig(**OVERLOAD), faults=plan
+    )
+    protected_report, protected_seconds = _run(
+        ScheduleConfig(**OVERLOAD, **PROTECTION), faults=plan
+    )
+
+    assert _decided_exactly_once(unprotected_report, N_REQUESTS)
+    assert _decided_exactly_once(protected_report, N_REQUESTS)
+
+    admission = protected_report.service.admission
+    assert admission is not None
+    assert admission.shed_total + admission.rejected_total > 0, (
+        "an overloaded protected run that never sheds is not exercising "
+        "admission control"
+    )
+
+    rows = []
+    for label, fleet_report, seconds in (
+        ("uncongested", baseline_report, baseline_seconds),
+        ("unprotected", unprotected_report, unprotected_seconds),
+        ("protected", protected_report, protected_seconds),
+    ):
+        stats = fleet_report.service
+        p50_ms, p99_ms = fleet_report.latency_percentiles_ms()
+        shed = (
+            0
+            if stats.admission is None
+            else stats.admission.shed_total + stats.admission.rejected_total
+        )
+        rows.append(
+            {
+                "label": label,
+                "placed": fleet_report.placed,
+                "rejected": fleet_report.rejected,
+                "strict_placed": _strict_placed(fleet_report),
+                "goodput_rps": round(fleet_report.placed / seconds, 1),
+                "shed_pct": round(100.0 * shed / N_REQUESTS, 1),
+                "p50_ms": round(p50_ms, 3),
+                "p99_ms": round(p99_ms, 3),
+                "retries": stats.retries,
+                "retries_short_circuited": stats.retries_short_circuited,
+            }
+        )
+
+    baseline_p99 = rows[0]["p99_ms"]
+    protected_p99 = rows[2]["p99_ms"]
+
+    lines = [
+        f"overload: {N_REQUESTS} heavy-tailed churn requests at 20x the "
+        f"baseline arrival rate onto {OVERLOAD['hosts']} hosts "
+        f"(baseline {BASELINE['hosts']}), chaos kill-each-shard-once, "
+        f"{SHARDS} shards, window {WINDOW}, seed {SEED}"
+        f"{', SMOKE' if SMOKE else ''}:",
+        "",
+        f"{'run':>12} {'placed':>7} {'strict':>7} {'shed %':>7} "
+        f"{'goodput/s':>10} {'p50 ms':>8} {'p99 ms':>8} {'retries':>8} "
+        f"{'skipped':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['label']:>12} {row['placed']:>7} "
+            f"{row['strict_placed']:>7} {row['shed_pct']:>7.1f} "
+            f"{row['goodput_rps']:>10.1f} {row['p50_ms']:>8.3f} "
+            f"{row['p99_ms']:>8.3f} {row['retries']:>8} "
+            f"{row['retries_short_circuited']:>8}"
+        )
+    lines += [
+        "",
+        f"protected p99 {protected_p99:.3f} ms vs uncongested "
+        f"{baseline_p99:.3f} ms (ceiling {P99_CEILING}x)",
+        f"strict-goal placed: protected {rows[2]['strict_placed']} vs "
+        f"unprotected {rows[1]['strict_placed']}",
+        f"admission: {admission.rejected_capacity} capacity rejects, "
+        f"{admission.held} held, {admission.shed_total} shed, "
+        f"{admission.brownout_entries} brown-out entries",
+    ]
+    report("overload", "\n".join(lines))
+
+    record_bench(
+        "overload",
+        {
+            "scenario": f"20x offered load onto {OVERLOAD['hosts']} hosts "
+            f"with near-immortal containers + kill-each-shard-once chaos, "
+            f"vcpus {list(VCPUS)}, seed {SEED}",
+            "requests": N_REQUESTS,
+            "shards": SHARDS,
+            "window": WINDOW,
+            "transport": "inline",
+            "fault_plan": plan.to_dict(),
+            "protection": dict(PROTECTION),
+            "p99_ceiling": P99_CEILING,
+            "admission": admission.to_dict(),
+            "runs": {row.pop("label"): row for row in [dict(r) for r in rows]},
+        },
+    )
+
+    assert protected_p99 <= P99_CEILING * baseline_p99, (
+        f"protected p99 {protected_p99:.3f} ms exceeded "
+        f"{P99_CEILING}x the uncongested baseline {baseline_p99:.3f} ms"
+    )
+    assert rows[2]["strict_placed"] > rows[1]["strict_placed"], (
+        "brown-out must shed best-effort traffic instead of strict-goal "
+        "work: protected strict-goal placements should exceed the "
+        "unprotected run's"
+    )

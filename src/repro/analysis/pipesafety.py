@@ -36,6 +36,8 @@ TRANSPORT_SUFFIXES = (
     "scheduler/service.py",
     "scheduler/supervisor.py",
     "scheduler/faults.py",
+    "scheduler/capacity.py",
+    "scheduler/admission.py",
 )
 
 #: Payload-bearing call attributes (the split protocol fires payloads
@@ -64,6 +66,9 @@ WIRE_CLASSES = frozenset(
         "FaultPlan",
         "JournalEntry",
         "ServiceStats",
+        "CapacityVector",
+        "AdmissionDecision",
+        "AdmissionStats",
     }
 )
 

@@ -276,6 +276,59 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_capacity(args) -> int:
+    """What-if capacity queries over the available-space vectors."""
+    from repro.scheduler import (
+        CapacityTracker,
+        brute_force_capacity,
+        minimal_shape,
+    )
+
+    if args.fill:
+        args.requests = args.fill  # reuse the config's stream builder
+    config = _schedule_config(args)
+    fleet = config.build_fleet()
+    # Attach before any placement so the counts are maintained
+    # incrementally (and cross-checked against brute force below).
+    tracker = CapacityTracker(fleet.index, config.vcpus)
+    if args.fill:
+        policy = config.build_policy(config.build_registry())
+        decisions = policy.decide_batch(config.build_stream(), fleet)
+        placed = sum(1 for decision in decisions if decision.placed)
+        print(
+            f"filled: {placed}/{args.fill} request(s) placed "
+            f"({config.policy} policy, seed {config.seed})"
+        )
+    index = fleet.index
+    print(
+        f"fleet: {len(fleet)} host(s) ({config.machine}), "
+        f"{index.free_nodes_total}/{index.total_nodes} nodes free"
+    )
+    print("available space (additional containers that fit):")
+    vector = tracker.vector()
+    for vcpus in vector.classes:
+        shapes = []
+        for machine in index.shapes():
+            try:
+                needed = minimal_shape(machine, vcpus)[0]
+            except ValueError:
+                continue
+            shapes.append(f"{machine.name}: {needed}-node blocks")
+        detail = "; ".join(shapes) if shapes else "infeasible on every shape"
+        print(f"  vcpus {vcpus:>3}: {vector.count(vcpus):>6}   ({detail})")
+    tracker.assert_consistent(fleet.hosts)
+    print("incremental tracker matches brute-force re-enumeration")
+    if args.query is not None:
+        if args.query < 1:
+            raise SystemExit("--query must be >= 1")
+        count = brute_force_capacity(fleet.hosts, [args.query])[args.query]
+        print(
+            f"what-if: {count} more {args.query}-vCPU container(s) "
+            f"fit right now"
+        )
+    return 0
+
+
 def cmd_lint(args) -> int:
     import json as json_module
     import time
@@ -467,6 +520,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_schedule_arguments(p, serve=True)
     p.set_defaults(func=cmd_serve)
+
+    from repro.scheduler.policies import POLICIES
+    from repro.topology import PRESETS
+
+    p = sub.add_parser(
+        "capacity",
+        help="available-space vectors: what-if capacity queries",
+        parents=[seed_parent],
+    )
+    p.add_argument(
+        "--machine",
+        default="amd",
+        choices=sorted(PRESETS) + ["mixed"],
+        help="host shape, or 'mixed' for a half-AMD/half-Intel fleet",
+    )
+    p.add_argument("--hosts", type=int, default=16)
+    p.add_argument(
+        "--vcpus",
+        default="8,16,32",
+        help="comma-separated container sizes to track (default 8,16,32)",
+    )
+    p.add_argument(
+        "--policy",
+        default="first-fit",
+        choices=sorted(POLICIES),
+        help="packing policy used by --fill (default first-fit)",
+    )
+    p.add_argument(
+        "--fill",
+        type=int,
+        default=0,
+        metavar="N",
+        help="place N generated requests before reporting capacity",
+    )
+    p.add_argument(
+        "--query",
+        type=int,
+        default=None,
+        metavar="V",
+        help="what-if: how many more V-vCPU containers fit "
+        "(V need not be a tracked class)",
+    )
+    p.set_defaults(func=cmd_capacity)
 
     return parser
 

@@ -18,6 +18,18 @@ fragmentation tracking, and a migration-driven rebalancer that consults
 :class:`repro.migration.planner.MigrationPlanner` before moving anything.
 """
 
+from repro.scheduler.admission import (
+    SHED_POLICIES,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+)
+from repro.scheduler.capacity import (
+    CapacityTracker,
+    CapacityVector,
+    brute_force_capacity,
+    initial_capacity,
+)
 from repro.scheduler.config import ScheduleConfig, add_schedule_arguments
 from repro.scheduler.faults import (
     FAULT_KINDS,
@@ -101,6 +113,14 @@ from repro.scheduler.supervisor import (
 
 __all__ = [
     "add_schedule_arguments",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "brute_force_capacity",
+    "CapacityTracker",
+    "CapacityVector",
+    "initial_capacity",
+    "SHED_POLICIES",
     "FAULT_KINDS",
     "FaultAction",
     "FaultInjectingClient",

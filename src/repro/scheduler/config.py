@@ -31,6 +31,7 @@ from repro.scheduler.requests import (
     generate_churn_stream,
     generate_request_stream,
 )
+from repro.scheduler.admission import SHED_POLICIES
 from repro.topology import PRESETS
 from repro.topology.machine import MachineTopology
 
@@ -86,6 +87,21 @@ class ScheduleConfig:
     fault_retries: int = 2
     backoff_base_s: float = 0.05
     recovery_rounds: int = 0
+    # Overload robustness (repro serve --admission)
+    #: Screen arrivals through the front-end admission controller:
+    #: feasibility/saturation gates, bounded brown-out queue, and
+    #: per-shard capacity vectors in every ShardSummary.
+    admission: bool = False
+    #: Bound on the brown-out held queue (None: unbounded).
+    queue_limit: int | None = None
+    #: How the held queue sheds on overflow (see SHED_POLICIES).
+    shed_policy: str = "drop-newest"
+    #: Deadline policy only: holds older than this are shed.
+    deadline_budget_s: float = 30.0
+    #: Enter brown-out when the fleet-wide capacity fraction drops
+    #: below this (0 disables the capacity trigger; DOWN shards always
+    #: trigger); exit at 1.5x the watermark (hysteresis).
+    brownout_watermark: float = 0.0
 
     # ------------------------------------------------------------------
     # Validation
@@ -164,6 +180,24 @@ class ScheduleConfig:
             raise ValueError("backoff_base_s must be >= 0")
         if self.recovery_rounds < 0:
             raise ValueError("recovery_rounds must be >= 0")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r}; choose from "
+                f"{', '.join(SHED_POLICIES)}"
+            )
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1 (or None: unbounded)")
+        if self.deadline_budget_s <= 0:
+            raise ValueError("deadline_budget_s must be positive")
+        if not 0.0 <= self.brownout_watermark <= 1.0:
+            raise ValueError("brownout_watermark must be in [0, 1]")
+        if not self.admission and (
+            self.queue_limit is not None or self.brownout_watermark > 0.0
+        ):
+            raise ValueError(
+                "queue_limit/brownout_watermark require --admission "
+                "(without the controller they would silently do nothing)"
+            )
         return self
 
     # ------------------------------------------------------------------
@@ -520,6 +554,56 @@ def add_schedule_arguments(
             "it once (FaultPlan.kill_each_shard_once with the stream "
             "seed) — a self-test of the recovery path; implies "
             "supervision",
+        )
+        adm = parser.add_argument_group(
+            "admission control options",
+            "overload robustness: feasibility/saturation gates, bounded "
+            "brown-out queue, capacity-vector summaries",
+        )
+        adm.add_argument(
+            "--admission",
+            action="store_true",
+            help="screen arrivals through the front-end admission "
+            "controller: reject infeasible and provably-unplaceable "
+            "requests before any shard round trip, and hold "
+            "best-effort traffic in a bounded queue during brown-out",
+        )
+        adm.add_argument(
+            "--queue-limit",
+            dest="queue_limit",
+            type=int,
+            default=defaults.queue_limit,
+            metavar="N",
+            help="bound on the brown-out held queue (default: unbounded)",
+        )
+        adm.add_argument(
+            "--shed-policy",
+            dest="shed_policy",
+            choices=SHED_POLICIES,
+            default=defaults.shed_policy,
+            help="how a full held queue sheds: drop-newest rejects the "
+            "arrival, drop-oldest evicts the head, deadline sheds "
+            "holds whose budget is spent first (default drop-newest)",
+        )
+        adm.add_argument(
+            "--deadline-budget-s",
+            dest="deadline_budget_s",
+            type=float,
+            default=defaults.deadline_budget_s,
+            metavar="S",
+            help="deadline policy only: event-time seconds a request may "
+            "wait in the held queue before it is shed (default 30)",
+        )
+        adm.add_argument(
+            "--brownout-watermark",
+            dest="brownout_watermark",
+            type=float,
+            default=defaults.brownout_watermark,
+            metavar="F",
+            help="enter brown-out when the fleet-wide capacity fraction "
+            "drops below F (exit at 1.5x F — hysteresis); 0 disables "
+            "the capacity trigger, DOWN shards always trigger "
+            "(default 0)",
         )
     else:
         online = parser.add_argument_group(

@@ -64,6 +64,11 @@ class FleetIndex:
         #: free-node count -> number of hosts, across all shapes.
         self._size_count: Dict[int, int] = {}
         self._max_free = 0
+        #: Attached available-space tracker (``scheduler/capacity.py``),
+        #: notified of every registration and free-count transition so
+        #: admission-mode capacity vectors ride the same hooks as the
+        #: counters.  Duck-typed to avoid an import cycle.
+        self._capacity = None
 
         # O(1) aggregate counters.
         self.free_nodes_total = 0
@@ -97,6 +102,12 @@ class FleetIndex:
         self.total_nodes += machine.n_nodes
         self.used_threads += host.used_threads
         self.total_threads += machine.total_threads
+        if self._capacity is not None:
+            self._capacity.on_register(host)
+
+    def attach_capacity(self, tracker) -> None:
+        """Forward free-count transitions to an available-space tracker."""
+        self._capacity = tracker
 
     def on_allocate(self, host: "FleetHost", placement: "Placement") -> None:
         """A host claimed a placement's nodes (called after the mutation)."""
@@ -139,6 +150,8 @@ class FleetIndex:
         elif old == self._max_free and old not in self._size_count:
             while self._max_free > 0 and self._max_free not in self._size_count:
                 self._max_free -= 1
+        if self._capacity is not None:
+            self._capacity.on_resize(host.machine, old, new)
 
     # ------------------------------------------------------------------
     # Queries
@@ -221,3 +234,5 @@ class FleetIndex:
         assert self._size_count == sizes, (
             f"size counts {self._size_count} != {sizes}"
         )
+        if self._capacity is not None:
+            self._capacity.assert_consistent(hosts)

@@ -54,6 +54,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.memo import CacheInfo
 from repro.core.serialize import machines_by_name
+from repro.scheduler.admission import AdmissionController, AdmissionStats
+from repro.scheduler.capacity import initial_capacity
 from repro.scheduler.config import ScheduleConfig
 from repro.scheduler.events import EventKind, events_from_requests
 from repro.scheduler.fleet import minimal_shape
@@ -63,6 +65,7 @@ from repro.scheduler.lifecycle import (
     MigrationRecord,
 )
 from repro.scheduler.faults import FaultInjectingClient, FaultPlan
+from repro.scheduler.policies import FleetDecision
 from repro.scheduler.requests import PlacementRequest
 from repro.scheduler.scheduler import FleetReport, GradedDecision
 from repro.scheduler.shard import (
@@ -139,6 +142,88 @@ class ServiceStats:
     #: dispatch pays roughly the per-round maximum — the gap between the
     #: two fields is the time the overlap won back.
     shard_service_seconds: float = 0.0
+    #: Capacity-reject retry fan-outs skipped because the next shard's
+    #: summary (capacity vector + per-shape free totals, exact at that
+    #: point) already proved the request cannot be placed there.
+    #: Admission mode only — without the vectors every live shard gets
+    #: a round trip.
+    retries_short_circuited: int = 0
+    #: Admission-controller counters (None when admission is off, which
+    #: keeps the pre-admission wire payload byte-identical).
+    admission: "AdmissionStats | None" = None
+
+    def __add__(self, other: "ServiceStats") -> "ServiceStats":
+        """Merge counters from two runs of identically shaped services."""
+        if not isinstance(other, ServiceStats):
+            return NotImplemented
+        if (self.n_shards, self.window, self.transport) != (
+            other.n_shards,
+            other.window,
+            other.transport,
+        ):
+            raise ValueError(
+                "can only merge stats from services with the same shard "
+                "count, window, and transport"
+            )
+        merged_admission = None
+        if self.admission is not None or other.admission is not None:
+            merged_admission = (self.admission or AdmissionStats()) + (
+                other.admission or AdmissionStats()
+            )
+
+        def zipsum(a: List[int], b: List[int]) -> List[int]:
+            if len(a) < len(b):
+                a = a + [0] * (len(b) - len(a))
+            elif len(b) < len(a):
+                b = b + [0] * (len(a) - len(b))
+            return [x + y for x, y in zip(a, b)]
+
+        return ServiceStats(
+            n_shards=self.n_shards,
+            window=self.window,
+            transport=self.transport,
+            rounds=self.rounds + other.rounds,
+            routed=self.routed + other.routed,
+            departures_routed=(
+                self.departures_routed + other.departures_routed
+            ),
+            departure_batches=(
+                self.departure_batches + other.departure_batches
+            ),
+            retries=self.retries + other.retries,
+            recovered_by_retry=(
+                self.recovered_by_retry + other.recovered_by_retry
+            ),
+            exhausted=self.exhausted + other.exhausted,
+            shard_requests=zipsum(self.shard_requests, other.shard_requests),
+            shard_placed=zipsum(self.shard_placed, other.shard_placed),
+            supervised=self.supervised or other.supervised,
+            crashes=self.crashes + other.crashes,
+            timeouts=self.timeouts + other.timeouts,
+            backoff_retries=self.backoff_retries + other.backoff_retries,
+            failovers=self.failovers + other.failovers,
+            journal_replays=self.journal_replays + other.journal_replays,
+            replayed_messages=(
+                self.replayed_messages + other.replayed_messages
+            ),
+            degraded_windows=self.degraded_windows + other.degraded_windows,
+            degraded_arrivals=(
+                self.degraded_arrivals + other.degraded_arrivals
+            ),
+            overlapped_rounds=(
+                self.overlapped_rounds + other.overlapped_rounds
+            ),
+            window_wall_seconds=(
+                self.window_wall_seconds + other.window_wall_seconds
+            ),
+            shard_service_seconds=(
+                self.shard_service_seconds + other.shard_service_seconds
+            ),
+            retries_short_circuited=(
+                self.retries_short_circuited + other.retries_short_circuited
+            ),
+            admission=merged_admission,
+        )
 
     def describe(self) -> str:
         lines = [
@@ -177,6 +262,20 @@ class ServiceStats:
                 f"{self.degraded_windows} degraded windows, "
                 f"{self.degraded_arrivals} degraded arrivals"
             )
+        if self.admission is not None:
+            a = self.admission
+            lines.append(
+                f"  admission: {a.offered} offered, {a.admitted} admitted, "
+                f"{a.rejected_infeasible} infeasible, "
+                f"{a.rejected_capacity} saturated, "
+                f"{self.retries_short_circuited} retry fan-out(s) skipped"
+            )
+            lines.append(
+                f"  brown-out: {a.brownout_entries} entered / "
+                f"{a.brownout_exits} exited, {a.held} held "
+                f"(peak {a.held_peak}), {a.drained} drained, "
+                f"{a.shed_total} shed"
+            )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -184,7 +283,7 @@ class ServiceStats:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "n_shards": self.n_shards,
             "window": self.window,
             "transport": self.transport,
@@ -210,10 +309,21 @@ class ServiceStats:
             "window_wall_seconds": self.window_wall_seconds,
             "shard_service_seconds": self.shard_service_seconds,
         }
+        # Admission-era keys are emitted only when the controller ran,
+        # keeping the admission-off payload byte-identical to PR 9's.
+        if self.admission is not None or self.retries_short_circuited:
+            data["retries_short_circuited"] = self.retries_short_circuited
+        if self.admission is not None:
+            data["admission"] = self.admission.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ServiceStats":
-        return cls(**data)
+        values = dict(data)
+        admission = values.get("admission")
+        if admission is not None:
+            values["admission"] = AdmissionStats.from_dict(admission)
+        return cls(**values)
 
 
 def merge_churn_stats(
@@ -351,9 +461,27 @@ class SchedulerService:
         self._sleep = time.sleep
         self.clients = [self._make_client(shard) for shard in range(n)]
         self.summaries: List[ShardSummary] = [
-            ShardSummary.initial(shard, self._shard_machines[shard])
-            for shard in range(n)
+            self._initial_summary(shard) for shard in range(n)
         ]
+        #: Front-end admission controller (``--admission``); None keeps
+        #: every code path and wire byte identical to the
+        #: pre-admission service.
+        self.admission: AdmissionController | None = None
+        #: Empty-fleet capacity totals per class — the denominator of
+        #: the brown-out capacity fraction.
+        self._initial_capacity_total: Dict[int, int] = {}
+        if config.admission:
+            self.admission = AdmissionController(
+                machines=machines,
+                classes=config.vcpus,
+                queue_limit=config.queue_limit,
+                shed_policy=config.shed_policy,
+                deadline_budget_s=config.deadline_budget_s,
+                brownout_watermark=config.brownout_watermark,
+            )
+            self._initial_capacity_total = dict(
+                initial_capacity(machines, config.vcpus).counts
+            )
         self.stats = ServiceStats(
             n_shards=n,
             window=config.window,
@@ -362,6 +490,9 @@ class SchedulerService:
             shard_placed=[0] * n,
             supervised=self.supervisor is not None,
         )
+        if self.admission is not None:
+            # The report's stats object shares the controller's counters.
+            self.stats.admission = self.admission.stats
         self.graded: List[GradedDecision] = []
         #: request id -> shard that finally owns it (placed it, or issued
         #: the terminal rejection) — the departure routing table.
@@ -389,6 +520,19 @@ class SchedulerService:
                 client, self._fault_schedules[shard]
             )
         return client
+
+    def _initial_summary(self, shard: int) -> ShardSummary:
+        """The router's view of a freshly built (or respawned-empty)
+        shard.  In admission mode it carries the shard's empty-fleet
+        capacity vector, matching what the worker's own tracker reports
+        before any placement."""
+        machines = self._shard_machines[shard]
+        capacity = (
+            initial_capacity(machines, self.config.vcpus)
+            if self.config.admission
+            else None
+        )
+        return ShardSummary.initial(shard, machines, capacity=capacity)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -633,9 +777,7 @@ class SchedulerService:
             supervisor.mark_recovering(shard)
             self.clients[shard].kill()
             self.clients[shard] = self._make_client(shard)
-            self.summaries[shard] = ShardSummary.initial(
-                shard, self._shard_machines[shard]
-            )
+            self.summaries[shard] = self._initial_summary(shard)
             replayed: List[Dict] = []
             try:
                 # request_many pipelines the replay on the process
@@ -1089,6 +1231,129 @@ class SchedulerService:
             ],
         }
 
+    # ------------------------------------------------------------------
+    # Admission control (repro serve --admission)
+    # ------------------------------------------------------------------
+
+    def _shard_cannot_place(self, shard: int, vcpus: int) -> bool:
+        """True only when shard ``shard`` is *guaranteed* to reject a
+        ``vcpus`` request right now.
+
+        The cached summary is exact at call time (single-threaded front
+        end, every response refreshes it) *except* for this shard's
+        pending outbox departures, which would free capacity — so a
+        non-empty outbox disables the guarantee.  ``count == 0`` alone
+        is still not sufficient while the rebalancer is enabled: its
+        consolidation migrations move containers between same-shape
+        hosts, so it can recover a reject whenever some shape's
+        shard-wide free total covers the minimal block.  Placements
+        only consume capacity and migrations preserve per-shape free
+        totals, so once true the predicate stays true for the rest of
+        the routing window.
+        """
+        if self._outbox[shard]:
+            return False
+        vector = self.summaries[shard].capacity
+        if vector is None:
+            return False
+        count = vector.count(vcpus)
+        if count is None or count > 0:
+            return False
+        if self.config.rebalance_enabled:
+            for name, entry in self.summaries[shard].shapes.items():
+                needed = self._needed_nodes(name, vcpus)
+                if needed is not None and entry["free_nodes"] >= needed:
+                    return False
+        return True
+
+    def _fleet_saturated(self, vcpus: int) -> bool:
+        """Every live shard provably rejects ``vcpus`` right now — the
+        admission controller's saturation gate.  Never true with zero
+        live shards (routing force-recovers; the front end does not
+        screen blind)."""
+        down = self._down_shards()
+        live = [
+            shard
+            for shard in range(self.config.shards)
+            if shard not in down
+        ]
+        if not live:
+            return False
+        return all(
+            self._shard_cannot_place(shard, vcpus) for shard in live
+        )
+
+    def _capacity_fraction(self) -> float | None:
+        """Live capacity as a fraction of the empty fleet's, minimized
+        over tracked classes — the brown-out watermark signal.  DOWN
+        shards contribute nothing (their capacity is unreachable)."""
+        if not self._initial_capacity_total:
+            return None
+        down = self._down_shards()
+        fractions: List[float] = []
+        for vcpus, total in self._initial_capacity_total.items():
+            if total <= 0:
+                continue
+            live = 0
+            for summary in self.summaries:
+                if summary.shard_id in down or summary.capacity is None:
+                    continue
+                count = summary.capacity.count(vcpus)
+                if count is not None:
+                    live += count
+            fractions.append(live / total)
+        if not fractions:
+            return None
+        return min(fractions)
+
+    def _admission_entry(
+        self, request: PlacementRequest, reason: str
+    ) -> GradedDecision:
+        """A front-end reject: same shape as a shard-side reject, with a
+        typed ``admission:`` reason and zero decision cost (no round
+        trip was spent)."""
+        return GradedDecision(
+            decision=FleetDecision(request, reject_reason=reason)
+        )
+
+    def _emit_sheds(self, sheds) -> None:
+        for request, _, reason in sheds:
+            self.graded.append(self._admission_entry(request, reason))
+
+    def _screen_arrival(
+        self, request: PlacementRequest, event_time: float
+    ) -> List[Tuple[PlacementRequest, float]]:
+        """Run one arrival through the admission controller.
+
+        Returns the (request, time) items to feed the routing window —
+        holds drained by a brown-out exit first (they arrived earlier),
+        then the arrival itself when admitted.  Rejects and sheds are
+        appended to ``self.graded`` here; held arrivals produce nothing
+        until they drain, expire, or the stream ends.
+        """
+        controller = self.admission
+        admitted: List[Tuple[PlacementRequest, float]] = []
+        transition = controller.observe(
+            len(self._down_shards()), self._capacity_fraction()
+        )
+        if transition == "exited":
+            admitted.extend(controller.drain())
+        if controller.shed_policy == "deadline":
+            self._emit_sheds(controller.expire(event_time))
+        decision, sheds = controller.screen(
+            request,
+            event_time,
+            saturated=self._fleet_saturated(request.vcpus),
+        )
+        self._emit_sheds(sheds)
+        if decision.outcome == "admit":
+            admitted.append((request, event_time))
+        elif decision.outcome == "reject":
+            self.graded.append(
+                self._admission_entry(request, decision.reason)
+            )
+        return admitted
+
     def _retry_if_rejected(
         self,
         entry: GradedDecision,
@@ -1116,6 +1381,21 @@ class SchedulerService:
             if not ranked:
                 break  # every live shard has had a look
             next_shard = ranked[0]
+            if (
+                self.admission is not None
+                and saw_capacity
+                and self._shard_cannot_place(next_shard, request.vcpus)
+            ):
+                # The summary proves this fan-out would come back as the
+                # same capacity reject (and with ``saw_capacity`` already
+                # set, the final reject reason cannot change either) —
+                # skip the round trip but keep the bookkeeping identical:
+                # the shard still counts as tried and still becomes the
+                # owner of record if it is the last one ranked.
+                self.stats.retries_short_circuited += 1
+                tried.add(next_shard)
+                shard = next_shard
+                continue
             self.stats.retries += 1
             message = self._window_message(op, [(request, event_time)])
             try:
@@ -1211,18 +1491,35 @@ class SchedulerService:
         held: List[Tuple[int, float]] = []
         ingested = 0
         arrivals = 0
+        controller = self.admission
         for event in events_from_requests(requests).drain():
             if max_events is not None and ingested >= max_events:
                 break
             ingested += 1
             if event.kind is EventKind.ARRIVAL:
-                pending.append((event.request, event.time))
                 arrivals += 1
-                if len(pending) >= self.config.window:
-                    self._place_window(pending, "arrive")
-                    pending = []
-                    self._defer_departures(held)
-                    held = []
+                if controller is None:
+                    admitted = [(event.request, event.time)]
+                else:
+                    admitted = self._screen_arrival(
+                        event.request, event.time
+                    )
+                for item in admitted:
+                    pending.append(item)
+                    if len(pending) >= self.config.window:
+                        self._place_window(pending, "arrive")
+                        pending = []
+                        self._defer_departures(held)
+                        held = []
+            elif controller is not None and controller.is_held(
+                event.request.request_id
+            ):
+                # The departing request is still waiting in the
+                # brown-out queue: it leaves before it was ever placed,
+                # so cancel the hold instead of routing a departure.
+                shed = controller.cancel(event.request.request_id)
+                if shed is not None:
+                    self._emit_sheds([shed])
             elif pending:
                 # Owner may be in the buffered window; resolve at flush.
                 held.append((event.request.request_id, event.time))
@@ -1230,6 +1527,9 @@ class SchedulerService:
                 self._defer_departures(
                     [(event.request.request_id, event.time)]
                 )
+        if controller is not None:
+            # Holds outliving the stream never exit brown-out: shed them.
+            self._emit_sheds(controller.flush())
         if pending:
             self._place_window(pending, "arrive")
         self._defer_departures(held)
@@ -1253,10 +1553,29 @@ class SchedulerService:
         batch_size = self.config.effective_batch_size
         for begin in range(0, len(requests), batch_size):
             batch = requests[begin : begin + batch_size]
-            self._place_window(
-                [(request, request.arrival_time) for request in batch],
-                "decide",
-            )
+            items = [
+                (request, request.arrival_time) for request in batch
+            ]
+            if self.admission is not None:
+                # One-shot mode has no health/churn clock, so only the
+                # feasibility and saturation gates apply (brown-out
+                # never engages and nothing is ever held).
+                kept: List[Tuple[PlacementRequest, float]] = []
+                for request, event_time in items:
+                    decision, _ = self.admission.screen(
+                        request,
+                        event_time,
+                        saturated=self._fleet_saturated(request.vcpus),
+                    )
+                    if decision.outcome == "reject":
+                        self.graded.append(
+                            self._admission_entry(request, decision.reason)
+                        )
+                    else:
+                        kept.append((request, event_time))
+                items = kept
+            if items:
+                self._place_window(items, "decide")
         elapsed = time.perf_counter() - start
         return self._merge_report(len(requests), elapsed, churn=False)
 

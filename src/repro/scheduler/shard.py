@@ -57,6 +57,7 @@ from typing import Dict, List, Sequence
 from repro.scheduler.events import EventKind, LifecycleEvent
 from repro.scheduler.lifecycle import LifecycleScheduler, RebalanceConfig
 from repro.scheduler.requests import PlacementRequest
+from repro.scheduler.capacity import CapacityTracker, CapacityVector
 from repro.scheduler.scheduler import FleetReport, GradedDecision, grade_decision
 from repro.topology.machine import MachineTopology
 
@@ -105,9 +106,12 @@ class ShardSummary:
     active_containers: int
     #: machine name -> {"n_hosts", "free_nodes", "largest_free_block"}.
     shapes: Dict[str, Dict[str, int]]
+    #: Available-space vector (admission mode only; None keeps the
+    #: pre-admission wire payload byte-identical).
+    capacity: "CapacityVector | None" = None
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "shard_id": self.shard_id,
             "n_hosts": self.n_hosts,
             "free_nodes_total": self.free_nodes_total,
@@ -119,9 +123,13 @@ class ShardSummary:
                 name: dict(entry) for name, entry in self.shapes.items()
             },
         }
+        if self.capacity is not None:
+            data["capacity"] = self.capacity.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ShardSummary":
+        capacity = data.get("capacity")
         return cls(
             shard_id=data["shard_id"],
             n_hosts=data["n_hosts"],
@@ -134,11 +142,20 @@ class ShardSummary:
                 name: dict(entry)
                 for name, entry in data["shapes"].items()
             },
+            capacity=(
+                None
+                if capacity is None
+                else CapacityVector.from_dict(capacity)
+            ),
         )
 
     @classmethod
     def initial(
-        cls, shard_id: int, machines: Sequence[MachineTopology]
+        cls,
+        shard_id: int,
+        machines: Sequence[MachineTopology],
+        *,
+        capacity: "CapacityVector | None" = None,
     ) -> "ShardSummary":
         """The summary of a freshly built (empty) shard — what the router
         knows before the shard's first response arrives."""
@@ -162,6 +179,7 @@ class ShardSummary:
             total_threads=sum(m.total_threads for m in machines),
             active_containers=0,
             shapes=shapes,
+            capacity=capacity,
         )
 
 
@@ -215,6 +233,13 @@ class ShardWorker:
                 reject_penalty_seconds=config.penalty_seconds,
             ),
         )
+        #: Incremental available-space tracker (admission mode only —
+        #: built *after* the fleet so the hosts are already indexed, and
+        #: only then so the admission-off wire bytes carry no capacity
+        #: key).
+        self.capacity: CapacityTracker | None = None
+        if getattr(config, "admission", False):
+            self.capacity = CapacityTracker(self.fleet.index, config.vcpus)
         self._next_seq = 0
         #: One-shot ("decide") accounting, separate from the lifecycle
         #: engine's graded list.
@@ -342,6 +367,9 @@ class ShardWorker:
             total_threads=index.total_threads,
             active_containers=len(self.engine._active),
             shapes=shapes,
+            capacity=(
+                None if self.capacity is None else self.capacity.vector()
+            ),
         )
 
     def report(self) -> FleetReport:

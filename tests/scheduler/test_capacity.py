@@ -1,0 +1,187 @@
+"""Tests for the available-space capacity vectors.
+
+The contract mirrors the fleet index's (``test_index.py``): after any
+sequence of allocations, releases, and migrations, the incrementally
+maintained per-class counts must equal what a from-scratch brute-force
+re-enumeration over the hosts produces — at every step, not just at the
+end.  The tracker piggybacks on the index's notification hooks, so the
+randomized replay here also exercises the ``register``/``_resize``
+forwarding path the memo-invalidation lint declares.
+"""
+
+import random
+
+import pytest
+
+from repro.core.placements import Placement
+from repro.scheduler import (
+    CapacityTracker,
+    CapacityVector,
+    Fleet,
+    GoalAwareFleetPolicy,
+    LifecycleScheduler,
+    ModelRegistry,
+    RebalanceConfig,
+    brute_force_capacity,
+    generate_churn_stream,
+    initial_capacity,
+    minimal_shape,
+)
+from repro.topology import amd_opteron_6272, intel_xeon_e7_4830_v3
+
+#: 10 vCPUs is shape-dependent and 1024 fits nowhere — the interesting
+#: feasibility edges ride along with the common classes.
+CLASSES = (4, 8, 16, 32, 10, 1024)
+
+
+def _mixed_fleet():
+    return Fleet.mixed(
+        [(amd_opteron_6272(), 6), (intel_xeon_e7_4830_v3(), 5)]
+    )
+
+
+class TestCapacityVector:
+    def test_tracked_untracked_and_infeasible(self):
+        vector = CapacityVector(counts={8: 5, 1024: 0})
+        assert vector.count(8) == 5
+        assert vector.count(1024) == 0  # tracked but infeasible: explicit 0
+        assert vector.count(16) is None  # untracked: unknown, not zero
+        assert vector.classes == (8, 1024)
+
+    def test_describe(self):
+        assert CapacityVector().describe() == "capacity: (no tracked classes)"
+        assert CapacityVector(counts={16: 2, 8: 5}).describe() == (
+            "capacity: 8v:5 16v:2"
+        )
+
+
+class TestInitialCapacity:
+    def test_empty_fleet_matches_brute_force(self):
+        fleet = _mixed_fleet()
+        machines = [host.machine for host in fleet.hosts]
+        vector = initial_capacity(machines, CLASSES)
+        assert vector.counts == brute_force_capacity(fleet.hosts, CLASSES)
+        assert vector.count(1024) == 0  # infeasible on every shape
+        # AMD: 8 nodes of 8 threads; Intel: 4 nodes of 16 threads — the
+        # one-node class count is just total nodes.
+        assert vector.count(8) == 6 * 8 + 5 * 4
+
+    def test_fresh_tracker_matches_initial(self):
+        fleet = _mixed_fleet()
+        tracker = CapacityTracker(fleet.index, CLASSES)
+        machines = [host.machine for host in fleet.hosts]
+        assert tracker.vector() == initial_capacity(machines, CLASSES)
+        tracker.assert_consistent(fleet.hosts)
+
+    def test_attach_to_live_fleet_backfills(self):
+        # Attaching after allocations must fold in current bucket state,
+        # not assume an empty fleet.
+        fleet = _mixed_fleet()
+        machine = fleet.hosts[0].machine
+        fleet.hosts[0].allocate(
+            1, Placement(machine, (0, 1, 2), 24, l2_share=2)
+        )
+        tracker = CapacityTracker(fleet.index, CLASSES)
+        tracker.assert_consistent(fleet.hosts)
+        assert tracker.count(8) == 6 * 8 + 5 * 4 - 3
+
+
+class TestRandomizedReplay:
+    """Replay random allocate/release/migration sequences and compare
+    the incremental counts against brute force after every step."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_replay(self, seed):
+        rng = random.Random(seed)
+        fleet = _mixed_fleet()
+        index = fleet.index
+        tracker = CapacityTracker(index, CLASSES)
+        live = {}  # request_id -> host_id
+        next_id = 1
+        for step in range(300):
+            action = rng.random()
+            if action < 0.55 or not live:
+                host = rng.choice(fleet.hosts)
+                vcpus = rng.choice([4, 8, 16, 32])
+                try:
+                    n_nodes, l2_share = minimal_shape(host.machine, vcpus)
+                except ValueError:
+                    continue
+                free = sorted(host.free_nodes)
+                if len(free) < n_nodes:
+                    continue
+                nodes = tuple(rng.sample(free, n_nodes))
+                host.allocate(
+                    next_id,
+                    Placement(host.machine, nodes, vcpus, l2_share=l2_share),
+                )
+                live[next_id] = host.host_id
+                next_id += 1
+            elif action < 0.85:
+                request_id = rng.choice(list(live))
+                fleet.release(request_id)
+                del live[request_id]
+            else:
+                request_id = rng.choice(list(live))
+                source = fleet.hosts[live[request_id]]
+                _, placement = fleet.release(request_id)
+                del live[request_id]
+                same_shape = [
+                    h
+                    for h in fleet.hosts
+                    if h.machine.fingerprint()
+                    == source.machine.fingerprint()
+                    and h.n_free_nodes >= placement.n_nodes
+                ]
+                if not same_shape:
+                    continue
+                dest = rng.choice(same_shape)
+                nodes = tuple(
+                    rng.sample(sorted(dest.free_nodes), placement.n_nodes)
+                )
+                dest.allocate(
+                    request_id,
+                    Placement(
+                        dest.machine,
+                        nodes,
+                        placement.vcpus,
+                        l2_share=placement.l2_share,
+                    ),
+                )
+                live[request_id] = dest.host_id
+            tracker.assert_consistent(fleet.hosts)
+            assert tracker.vector().counts == brute_force_capacity(
+                fleet.hosts, CLASSES
+            )
+            # The index's own consistency check forwards to an attached
+            # tracker — the hook the lint row points at.
+            index.assert_consistent(fleet.hosts)
+
+
+class TestChurnConsistency:
+    def test_tracker_survives_lifecycle_churn(self):
+        # A real engine run: arrivals, departures, and rebalancer
+        # migrations all flow through the same index hooks.
+        requests = generate_churn_stream(
+            80, seed=2, arrival_rate=1.0, mean_lifetime=20.0
+        )
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 3)
+        tracker = CapacityTracker(fleet.index, (8, 16, 32))
+        registry = ModelRegistry(seed=5)
+        LifecycleScheduler(
+            fleet,
+            GoalAwareFleetPolicy(registry),
+            registry=registry,
+            config=RebalanceConfig(enabled=True),
+        ).run(requests)
+        tracker.assert_consistent(fleet.hosts)
+        assert tracker.vector().counts == brute_force_capacity(
+            fleet.hosts, (8, 16, 32)
+        )
+
+    def test_drift_is_reported_per_class(self):
+        fleet = Fleet.homogeneous(amd_opteron_6272(), 2)
+        tracker = CapacityTracker(fleet.index, (8,))
+        tracker._counts[8] += 1  # simulate a missed notification
+        with pytest.raises(AssertionError, match="vcpus 8: tracked 17"):
+            tracker.assert_consistent(fleet.hosts)

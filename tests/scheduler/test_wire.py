@@ -15,6 +15,9 @@ import pytest
 from repro.core.memo import CacheInfo
 from repro.core.serialize import machines_by_name
 from repro.scheduler import (
+    AdmissionDecision,
+    AdmissionStats,
+    CapacityVector,
     ChurnStats,
     FaultAction,
     FaultPlan,
@@ -33,6 +36,7 @@ from repro.scheduler import (
     ShardWorker,
     generate_churn_stream,
     generate_request_stream,
+    initial_capacity,
 )
 from repro.scheduler.scheduler import FleetReport
 from repro.serving.online import OnlineStats
@@ -357,3 +361,159 @@ class TestReportWire:
         report = scheduler.run(config.build_stream())
         payload = wire(report.to_dict())
         assert FleetReport.from_dict(payload, machines).to_dict() == payload
+
+
+class TestCapacityWire:
+    def test_capacity_vector_round_trip_restores_int_keys(self):
+        vector = CapacityVector(counts={8: 12, 16: 6, 32: 0})
+        rebuilt = CapacityVector.from_dict(wire(vector.to_dict()))
+        assert rebuilt == vector
+        assert rebuilt.classes == (8, 16, 32)  # int keys, not strings
+        assert rebuilt.count(16) == 6
+        assert rebuilt.count(64) is None  # untracked stays untracked
+
+    def test_capacity_vector_merge_union_sums(self):
+        merged = CapacityVector(counts={8: 3, 16: 1}) + CapacityVector(
+            counts={8: 2, 32: 4}
+        )
+        assert merged.counts == {8: 5, 16: 1, 32: 4}
+
+    def test_live_summary_capacity_round_trips(self):
+        config = ScheduleConfig(
+            machine="mixed",
+            hosts=4,
+            requests=8,
+            churn=True,
+            shards=1,
+            admission=True,
+        )
+        worker = ShardWorker(0, config)
+        for request in generate_request_stream(8, seed=1, vcpus_choices=(8,)):
+            worker.handle(
+                {"op": "arrive", "events": [[request.to_dict(), 0.0]]}
+            )
+        summary = worker.summary()
+        assert summary.capacity is not None
+        assert summary.capacity.count(8) is not None
+        rebuilt = ShardSummary.from_dict(wire(summary.to_dict()))
+        assert rebuilt == summary
+        assert rebuilt.capacity == summary.capacity
+
+    def test_summary_without_admission_omits_capacity_key(self):
+        """Admission off keeps the pre-admission wire bytes: no
+        ``capacity`` key at all, and old payloads parse to None."""
+        config = ScheduleConfig(machine="amd", hosts=2, requests=4, shards=1)
+        worker = ShardWorker(0, config)
+        payload = wire(worker.summary().to_dict())
+        assert "capacity" not in payload
+        rebuilt = ShardSummary.from_dict(payload)
+        assert rebuilt.capacity is None
+
+
+class TestAdmissionWire:
+    def test_admission_decision_round_trip(self):
+        for decision in (
+            AdmissionDecision(3, "admit"),
+            AdmissionDecision(4, "hold"),
+            AdmissionDecision(5, "reject", "admission:queue-full"),
+        ):
+            assert AdmissionDecision.from_dict(
+                wire(decision.to_dict())
+            ) == decision
+
+    def test_admission_decision_validates(self):
+        with pytest.raises(ValueError, match="outcome"):
+            AdmissionDecision(1, "defer")
+        with pytest.raises(ValueError, match="reason"):
+            AdmissionDecision(1, "reject")
+
+    def test_admission_stats_round_trip_and_merge(self):
+        a = AdmissionStats(
+            offered=10,
+            admitted=6,
+            rejected_infeasible=1,
+            rejected_capacity=2,
+            held=3,
+            held_peak=2,
+            drained=1,
+            shed_queue_full=1,
+            brownout_entries=1,
+        )
+        b = AdmissionStats(
+            offered=5, admitted=5, held=1, held_peak=4, brownout_exits=1
+        )
+        assert AdmissionStats.from_dict(wire(a.to_dict())) == a
+        merged = a + b
+        assert merged.offered == 15
+        assert merged.held_peak == 4  # high-water mark takes the max
+        assert merged.shed_total == a.shed_total + b.shed_total
+        assert merged.rejected_total == 3
+
+    def test_service_stats_round_trip_with_admission(self):
+        stats = ServiceStats(
+            n_shards=2,
+            window=8,
+            rounds=4,
+            routed=20,
+            retries_short_circuited=3,
+            admission=AdmissionStats(
+                offered=24, admitted=20, rejected_capacity=4
+            ),
+        )
+        rebuilt = ServiceStats.from_dict(wire(stats.to_dict()))
+        assert rebuilt == stats
+        assert isinstance(rebuilt.admission, AdmissionStats)
+
+    def test_service_stats_merge_combines_admission(self):
+        a = ServiceStats(
+            n_shards=2,
+            window=8,
+            routed=4,
+            retries_short_circuited=1,
+            admission=AdmissionStats(offered=4, admitted=4),
+        )
+        b = ServiceStats(n_shards=2, window=8, routed=6)
+        merged = a + b
+        assert merged.routed == 10
+        assert merged.retries_short_circuited == 1
+        assert merged.admission is not None
+        assert merged.admission.offered == 4
+
+    def test_admission_off_payload_has_no_new_keys(self):
+        """The PR-9 byte-compat gate at the stats layer: admission off
+        emits exactly the pre-admission payload."""
+        stats = ServiceStats(n_shards=2, window=8)
+        payload = wire(stats.to_dict())
+        assert "admission" not in payload
+        assert "retries_short_circuited" not in payload
+
+    def test_service_stats_accepts_pre_admission_payloads(self):
+        stats = ServiceStats(n_shards=2, window=8)
+        payload = wire(stats.to_dict())
+        rebuilt = ServiceStats.from_dict(payload)
+        assert rebuilt.admission is None
+        assert rebuilt.retries_short_circuited == 0
+
+    def test_schedule_config_round_trip_with_admission_knobs(self):
+        config = ScheduleConfig(
+            machine="amd",
+            hosts=4,
+            requests=20,
+            churn=True,
+            shards=2,
+            admission=True,
+            queue_limit=8,
+            shed_policy="deadline",
+            deadline_budget_s=5.0,
+            brownout_watermark=0.25,
+        )
+        rebuilt = ScheduleConfig.from_dict(wire(config.to_dict()))
+        assert rebuilt == config
+
+    def test_initial_capacity_matches_empty_worker_summary(self):
+        config = ScheduleConfig(
+            machine="mixed", hosts=4, requests=4, shards=1, admission=True
+        )
+        worker = ShardWorker(0, config)
+        expected = initial_capacity(config.machine_list(), config.vcpus)
+        assert worker.summary().capacity == expected
